@@ -1,0 +1,73 @@
+// Command polygen generates the workload polynomials used in the
+// paper's evaluation and this repository's examples, printing their
+// coefficients in ascending degree order (one per line, suitable for
+// xargs into cmd/realroots).
+//
+// Usage:
+//
+//	polygen -family charpoly -n 20 -seed 3   # the paper's workload
+//	polygen -family wilkinson -n 12
+//	polygen -family chebyshev -n 16
+//	polygen -family hermite -n 10
+//	polygen -family laguerre -n 10
+//	polygen -family legendre -n 10
+//	polygen -family tridiagonal -n 200 -seed 7  # Jacobi matrix, O(n²) generation
+//	polygen -family introots -n 8 -seed 1 -span 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realroots/internal/poly"
+	"realroots/internal/workload"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "charpoly", "charpoly, bounded, tridiagonal, wilkinson, chebyshev, hermite, laguerre, legendre, introots")
+		n      = flag.Int("n", 10, "degree")
+		seed   = flag.Int64("seed", 1, "random seed (charpoly, bounded, introots)")
+		span   = flag.Int("span", 100, "root span (introots) / entry bound (bounded)")
+		pretty = flag.Bool("pretty", false, "print the polynomial in symbolic form instead of coefficients")
+	)
+	flag.Parse()
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "polygen: degree must be ≥ 1")
+		os.Exit(2)
+	}
+
+	var p *poly.Poly
+	switch *family {
+	case "charpoly":
+		p = workload.CharPoly01(*seed, *n)
+	case "bounded":
+		p = workload.CharPolyBounded(*seed, *n, int64(*span))
+	case "wilkinson":
+		p = workload.Wilkinson(*n)
+	case "chebyshev":
+		p = workload.Chebyshev(*n)
+	case "hermite":
+		p = workload.Hermite(*n)
+	case "laguerre":
+		p = workload.Laguerre(*n)
+	case "legendre":
+		p = workload.Legendre(*n)
+	case "tridiagonal":
+		p = workload.Tridiagonal(*seed, *n, int64(*span))
+	case "introots":
+		p = workload.RandomIntRoots(*seed, *n, *span)
+	default:
+		fmt.Fprintf(os.Stderr, "polygen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	if *pretty {
+		fmt.Println(p)
+		return
+	}
+	for i := 0; i <= p.Degree(); i++ {
+		fmt.Println(p.Coeff(i))
+	}
+}

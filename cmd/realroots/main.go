@@ -1,0 +1,177 @@
+// Command realroots finds all real roots of an integer polynomial with
+// only real roots, printing exact µ-approximations.
+//
+// Usage:
+//
+//	realroots [flags] c0 c1 c2 ...        # coefficients, ascending degree
+//	realroots -expr 'x^3 - 8x^2 - 23x + 30'
+//	realroots -file coeffs.txt [flags]    # coefficients from a file ("-" = stdin)
+//	realroots -matrix '2 1; 1 2' [flags]  # eigenvalues of a symmetric matrix
+//
+// Examples:
+//
+//	realroots -- -2 0 1                  # x² - 2  →  ±√2
+//	realroots -mu 64 -workers 8 -- 30 -23 -8 1
+//	realroots -matrix '2 1; 1 2' -digits 6
+//	polygen -family hermite -n 12 | realroots -file - -mu 64
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"strconv"
+	"strings"
+
+	"realroots"
+	"realroots/internal/poly"
+)
+
+func main() {
+	var (
+		mu      = flag.Uint("mu", 32, "precision: roots are reported as 2^-µ·⌈2^µ·x⌉")
+		workers = flag.Int("workers", 1, "parallel workers")
+		digits  = flag.Int("digits", 10, "decimal digits to display")
+		matrix  = flag.String("matrix", "", "symmetric integer matrix, rows separated by ';' (eigenvalue mode)")
+		file    = flag.String("file", "", "read coefficients (one per line, ascending degree) from this file; '-' reads stdin")
+		expr    = flag.String("expr", "", "polynomial as an expression, e.g. 'x^3 - 8x^2 - 23x + 30'")
+		method  = flag.String("method", "hybrid", "interval refinement: hybrid, bisection, or newton")
+		exact   = flag.Bool("exact", false, "print exact rationals instead of decimals")
+	)
+	flag.Parse()
+
+	opts := &realroots.Options{Precision: *mu, Workers: *workers}
+	switch *method {
+	case "hybrid":
+	case "bisection":
+		opts.Method = realroots.Bisection
+	case "newton":
+		opts.Method = realroots.Newton
+	default:
+		fail("unknown method %q", *method)
+	}
+
+	var res *realroots.Result
+	var err error
+	switch {
+	case *matrix != "":
+		rows, perr := parseMatrix(*matrix)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		res, err = realroots.Eigenvalues(rows, opts)
+	case *expr != "":
+		p, perr := poly.ParseOrCoeffs(*expr)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		coeffs := make([]*big.Int, p.Degree()+1)
+		for i := range coeffs {
+			coeffs[i] = p.Coeff(i).ToBig()
+		}
+		res, err = realroots.FindRoots(coeffs, opts)
+	case *file != "":
+		coeffs, perr := readCoeffFile(*file)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		res, err = realroots.FindRoots(coeffs, opts)
+	default:
+		if flag.NArg() < 2 {
+			fail("need at least two coefficients (ascending degree); got %d", flag.NArg())
+		}
+		coeffs := make([]*big.Int, flag.NArg())
+		for i, arg := range flag.Args() {
+			v, ok := new(big.Int).SetString(arg, 10)
+			if !ok {
+				fail("bad coefficient %q", arg)
+			}
+			coeffs[i] = v
+		}
+		res, err = realroots.FindRoots(coeffs, opts)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("degree %d, %d distinct real root(s) at precision 2^-%d (%.3fs)\n",
+		res.Degree, res.Distinct, res.Precision, res.Elapsed.Seconds())
+	for i, r := range res.Roots {
+		val := r.Decimal(*digits)
+		if *exact {
+			val = r.String()
+		}
+		if r.Multiplicity > 1 {
+			fmt.Printf("  x%-3d = %s  (multiplicity %d)\n", i, val, r.Multiplicity)
+		} else {
+			fmt.Printf("  x%-3d = %s\n", i, val)
+		}
+	}
+}
+
+func parseMatrix(s string) ([][]int64, error) {
+	var rows [][]int64
+	for _, rowStr := range strings.Split(s, ";") {
+		fields := strings.Fields(rowStr)
+		if len(fields) == 0 {
+			continue
+		}
+		row := make([]int64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad matrix entry %q", f)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("empty matrix")
+	}
+	return rows, nil
+}
+
+// readCoeffFile reads one integer coefficient per line (ascending
+// degree), skipping blank lines and '#' comments.
+func readCoeffFile(path string) ([]*big.Int, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var coeffs []*big.Int
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, ok := new(big.Int).SetString(line, 10)
+		if !ok {
+			return nil, fmt.Errorf("bad coefficient line %q", line)
+		}
+		coeffs = append(coeffs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(coeffs) < 2 {
+		return nil, fmt.Errorf("need at least two coefficients, got %d", len(coeffs))
+	}
+	return coeffs, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "realroots: "+format+"\n", args...)
+	os.Exit(1)
+}

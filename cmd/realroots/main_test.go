@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMatrix(t *testing.T) {
+	rows, err := parseMatrix("2 1; 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][1] != 1 || rows[1][1] != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Trailing separator and extra spaces are tolerated.
+	rows, err = parseMatrix(" 1 0 ;  0 1 ; ")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows = %v err = %v", rows, err)
+	}
+	if _, err := parseMatrix(""); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := parseMatrix("1 x; 2 3"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestReadCoeffFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coeffs.txt")
+	content := "# p(x) = x^2 - 2\n-2\n\n0\n1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coeffs, err := readCoeffFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coeffs) != 3 || coeffs[0].Int64() != -2 || coeffs[2].Int64() != 1 {
+		t.Fatalf("coeffs = %v", coeffs)
+	}
+}
+
+func TestReadCoeffFileErrors(t *testing.T) {
+	if _, err := readCoeffFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("1\nxyz\n"), 0o644)
+	if _, err := readCoeffFile(bad); err == nil {
+		t.Error("bad line accepted")
+	}
+	short := filepath.Join(t.TempDir(), "short.txt")
+	os.WriteFile(short, []byte("42\n"), 0o644)
+	if _, err := readCoeffFile(short); err == nil {
+		t.Error("single coefficient accepted")
+	}
+}

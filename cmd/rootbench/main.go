@@ -1,0 +1,105 @@
+// Command rootbench regenerates the paper's tables and figures (see
+// DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	rootbench -exp table2                 # one experiment, quick grid
+//	rootbench -exp all -full              # everything on the paper's full grid
+//	rootbench -exp speedups -degrees 35,50,70 -procs 1,2,4,8,16 -mus 4,32
+//
+// The full grid (degrees up to 70, all µ, all worker counts, 3 seeds)
+// takes a while — the paper's own Table 2 runs alone are hours of 1991
+// machine time; on modern hardware expect minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"realroots/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
+		full     = flag.Bool("full", false, "use the paper's full grid (degrees 10-70, µ 4-32, P 1-16, 3 seeds)")
+		degrees  = flag.String("degrees", "", "comma-separated degree list (overrides the grid)")
+		mus      = flag.String("mus", "", "comma-separated µ list")
+		procs    = flag.String("procs", "", "comma-separated worker-count list")
+		seeds    = flag.String("seeds", "", "comma-separated seed list")
+		reps     = flag.Int("reps", 0, "timing repetitions per cell (minimum is reported)")
+		simulate = flag.Bool("simulate", runtime.NumCPU() == 1,
+			"simulate P virtual processors from the real task graph (for the times/speedups experiments on hosts with few cores; defaults to true on single-core hosts)")
+	)
+	flag.Parse()
+
+	cfg := harness.Quick()
+	if *full {
+		cfg = harness.Default()
+	}
+	cfg.Simulate = *simulate
+	if *simulate {
+		fmt.Fprintln(os.Stderr, "rootbench: multiprocessor experiments use virtual-time simulation (see DESIGN.md); pass -simulate=false for wall-clock timing")
+	}
+	if *degrees != "" {
+		cfg.Degrees = parseInts(*degrees)
+	}
+	if *mus != "" {
+		var us []uint
+		for _, v := range parseInts(*mus) {
+			us = append(us, uint(v))
+		}
+		cfg.Mus = us
+	}
+	if *procs != "" {
+		cfg.Procs = parseInts(*procs)
+	}
+	if *seeds != "" {
+		var ss []int64
+		for _, v := range parseInts(*seeds) {
+			ss = append(ss, int64(v))
+		}
+		cfg.Seeds = ss
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = harness.Names()
+	}
+	for _, name := range names {
+		run, ok := harness.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rootbench: unknown experiment %q (have: %s)\n", name, strings.Join(harness.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rootbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rootbench: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

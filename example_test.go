@@ -1,0 +1,114 @@
+package realroots_test
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"realroots"
+)
+
+// The basic workflow: coefficients in, exact dyadic approximations out.
+func ExampleFindRootsInt64() {
+	// p(x) = (x + 3)(x - 1)(x - 10) = x³ - 8x² - 23x + 30.
+	res, err := realroots.FindRootsInt64([]int64{30, -23, -8, 1}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Roots {
+		fmt.Println(r)
+	}
+	// Output:
+	// -3
+	// 1
+	// 10
+}
+
+// Irrational roots are reported as the exact ceiling approximation
+// 2^-µ·⌈2^µ·x⌉.
+func ExampleFindRootsInt64_precision() {
+	res, err := realroots.FindRootsInt64([]int64{-2, 0, 1},
+		&realroots.Options{Precision: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Roots[1])            // exact rational
+	fmt.Println(res.Roots[1].Decimal(4)) // decimal rendering
+	// Output:
+	// 46341/32768
+	// 1.4142
+}
+
+// Repeated roots are detected and reported with multiplicities.
+func ExampleFindRootsInt64_multiplicity() {
+	// p(x) = (x - 2)²(x + 1).
+	res, err := realroots.FindRootsInt64([]int64{4, 0, -3, 1}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Roots {
+		fmt.Printf("%s ×%d\n", r, r.Multiplicity)
+	}
+	// Output:
+	// -1 ×1
+	// 2 ×2
+}
+
+// Eigenvalues of symmetric integer matrices, via the characteristic
+// polynomial — the paper's own benchmark workload.
+func ExampleEigenvalues() {
+	res, err := realroots.Eigenvalues([][]int64{
+		{2, 1},
+		{1, 2},
+	}, &realroots.Options{Precision: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range res.Roots {
+		fmt.Println(ev)
+	}
+	// Output:
+	// 1
+	// 3
+}
+
+// Polynomials with complex roots are rejected: the algorithm's
+// precondition is that all roots are real.
+func ExampleFindRootsInt64_notAllReal() {
+	_, err := realroots.FindRootsInt64([]int64{1, 0, 1}, nil) // x² + 1
+	fmt.Println(err)
+	// Output:
+	// realroots: polynomial does not have all real roots
+}
+
+// CountRealRoots works for any integer polynomial (it counts distinct
+// real roots by Sturm's theorem, without approximating them).
+func ExampleCountRealRoots() {
+	// x³ - 1 has one real root (and two complex ones).
+	n, err := realroots.CountRealRoots([]*big.Int{
+		big.NewInt(-1), big.NewInt(0), big.NewInt(0), big.NewInt(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// 1
+}
+
+// Isolate exposes the root-isolation half of the problem: each root
+// comes back with an exact width-2^-µ isolating interval.
+func ExampleIsolate() {
+	ivs, err := realroots.Isolate([]*big.Int{
+		big.NewInt(-2), big.NewInt(0), big.NewInt(1), // x² - 2
+	}, &realroots.Options{Precision: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, iv := range ivs {
+		fmt.Printf("(%s, %s]\n", iv[0], iv[1])
+	}
+	// Output:
+	// (-23/16, -11/8]
+	// (11/8, 23/16]
+}

@@ -1,0 +1,54 @@
+// Eigenvalues of a random symmetric 0-1 matrix — the workload the
+// paper's evaluation is built on (§5): the input polynomial is the
+// matrix's characteristic polynomial, which is real-rooted because the
+// matrix is symmetric.
+//
+//	go run ./examples/eigenvalues
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"realroots"
+)
+
+func main() {
+	const n = 24
+	r := rand.New(rand.NewSource(42))
+
+	// Random symmetric 0-1 matrix, as in the paper.
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := int64(r.Intn(2))
+			m[i][j], m[j][i] = v, v
+		}
+	}
+
+	res, err := realroots.Eigenvalues(m, &realroots.Options{
+		Precision: 40,
+		Workers:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d×%d symmetric 0-1 matrix: %d distinct eigenvalues (%v)\n",
+		n, n, res.Distinct, res.Elapsed)
+	var sum float64
+	var trace int64
+	for i := 0; i < n; i++ {
+		trace += m[i][i]
+	}
+	for _, ev := range res.Roots {
+		fmt.Printf("  λ = %s  (×%d)\n", ev.Decimal(10), ev.Multiplicity)
+		sum += float64(ev.Multiplicity) * ev.Float64()
+	}
+	// Sanity check: the eigenvalues sum to the trace.
+	fmt.Printf("Σλ = %.6f, trace = %d\n", sum, trace)
+}

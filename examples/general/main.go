@@ -1,0 +1,48 @@
+// General real-root finding: unlike the paper's parallel algorithm,
+// whose precondition is that *all* roots are real, the library also
+// ships the classic sequential Sturm machinery, exposed as
+// realroots.FindRealRoots and realroots.CountRealRoots, which accept
+// any integer polynomial. This example contrasts the two entry points.
+//
+//	go run ./examples/general
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/big"
+
+	"realroots"
+)
+
+func main() {
+	// p(x) = (x² + 1)(x - 3)(x + 5) = x⁴ + 2x³ - 14x² + 2x - 15:
+	// two real roots, two complex ones.
+	coeffs := []*big.Int{
+		big.NewInt(-15), big.NewInt(2), big.NewInt(-14), big.NewInt(2), big.NewInt(1),
+	}
+
+	// The parallel algorithm rejects it (its precondition is violated) …
+	_, err := realroots.FindRoots(coeffs, nil)
+	if !errors.Is(err, realroots.ErrNotAllReal) {
+		log.Fatalf("expected ErrNotAllReal, got %v", err)
+	}
+	fmt.Println("FindRoots:", err)
+
+	// … Sturm counting tells us how many real roots there are …
+	n, err := realroots.CountRealRoots(coeffs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CountRealRoots: %d of degree %d\n", n, len(coeffs)-1)
+
+	// … and the general-purpose finder approximates them.
+	res, err := realroots.FindRealRoots(coeffs, &realroots.Options{Precision: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Roots {
+		fmt.Printf("real root: %s\n", r.Decimal(10))
+	}
+}

@@ -1,0 +1,47 @@
+// Gauss–Hermite quadrature nodes: the roots of the Hermite polynomial
+// H_n, computed to high precision. Orthogonal-polynomial root-finding
+// is a classic consumer of real-root isolation — H_n has integer
+// coefficients and n distinct real roots, exactly the algorithm's
+// input class.
+//
+//	go run ./examples/quadrature
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"realroots"
+	"realroots/internal/workload"
+)
+
+func main() {
+	const n = 16
+	h := workload.Hermite(n)
+
+	// Convert the internal polynomial to the public big.Int boundary.
+	coeffs := make([]*big.Int, h.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = h.Coeff(i).ToBig()
+	}
+
+	res, err := realroots.FindRoots(coeffs, &realroots.Options{
+		Precision: 96, // ~29 decimal digits
+		Workers:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Gauss–Hermite nodes of order %d (roots of H_%d), 96-bit precision:\n", n, n)
+	for i, r := range res.Roots {
+		fmt.Printf("  x_%-2d = %s\n", i, r.Decimal(25))
+	}
+
+	// The nodes of H_n are symmetric about zero; the ceiling convention
+	// makes the reported approximations x̃(-r) and x̃(r) satisfy
+	// x̃(-r) = -x̃(r) + 2^-µ adjustments at most one grid step apart.
+	mid := res.Roots[n/2-1].Float64() + res.Roots[n/2].Float64()
+	fmt.Printf("central pair sum (≈0): %.2e\n", mid)
+}

@@ -1,0 +1,48 @@
+// Quickstart: find the real roots of a small polynomial with the public
+// API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realroots"
+)
+
+func main() {
+	// p(x) = x³ - 8x² - 23x + 30 = (x + 3)(x - 1)(x - 10),
+	// coefficients in ascending degree order.
+	res, err := realroots.FindRootsInt64(
+		[]int64{30, -23, -8, 1},
+		&realroots.Options{Precision: 48},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("p has %d real roots (found in %v):\n", res.Distinct, res.Elapsed)
+	for _, r := range res.Roots {
+		fmt.Printf("  x = %-14s (exact: %s)\n", r.Decimal(6), r)
+	}
+
+	// Irrational roots come back as exact dyadic rationals within 2^-µ:
+	// p(x) = x² - 2.
+	res, err = realroots.FindRootsInt64([]int64{-2, 0, 1}, &realroots.Options{Precision: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n√2 to 64 bits: %s\n", res.Roots[1].Decimal(18))
+
+	// Repeated roots are reported once, with multiplicity:
+	// p(x) = (x - 2)²(x + 1).
+	res, err = realroots.FindRootsInt64([]int64{4, 0, -3, 1}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, r := range res.Roots {
+		fmt.Printf("root %s with multiplicity %d\n", r, r.Multiplicity)
+	}
+}

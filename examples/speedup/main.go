@@ -1,0 +1,54 @@
+// Speedup: run the same root-finding problem across worker counts and
+// print the parallel speedups, reproducing the paper's §5.2 measurement
+// in miniature (Tables 3-7 are regenerated in full by cmd/rootbench).
+//
+//	go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"runtime"
+	"time"
+
+	"realroots"
+	"realroots/internal/workload"
+)
+
+func main() {
+	const (
+		n  = 45
+		mu = 32
+	)
+	p := workload.CharPoly01(7, n)
+	coeffs := make([]*big.Int, p.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = p.Coeff(i).ToBig()
+	}
+
+	fmt.Printf("degree-%d characteristic polynomial, µ = %d, GOMAXPROCS = %d\n\n",
+		n, mu, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %12s %9s\n", "workers", "time", "speedup")
+
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := realroots.FindRoots(coeffs, &realroots.Options{
+				Precision: mu,
+				Workers:   workers,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		if workers == 1 {
+			base = best
+		}
+		fmt.Printf("%8d %12v %8.2fx\n", workers, best.Round(time.Millisecond), float64(base)/float64(best))
+	}
+}

@@ -1,0 +1,3 @@
+module realroots
+
+go 1.22

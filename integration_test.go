@@ -1,0 +1,165 @@
+package realroots
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"realroots/internal/workload"
+)
+
+// Integration scenarios exercising the whole pipeline through the
+// public API on realistic inputs. Heavier cases are skipped in -short.
+
+func TestIntegrationWilkinson20(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// Wilkinson's polynomial of degree 20 — a classic stress test where
+	// floating-point root finders lose multiple digits. Exact arithmetic
+	// must return the integers 1..20 exactly at any precision.
+	w := workload.Wilkinson(20)
+	coeffs := make([]*big.Int, w.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = w.Coeff(i).ToBig()
+	}
+	for _, mu := range []uint{4, 64} {
+		res, err := FindRoots(coeffs, &Options{Precision: mu, Workers: 4})
+		if err != nil {
+			t.Fatalf("µ=%d: %v", mu, err)
+		}
+		if len(res.Roots) != 20 {
+			t.Fatalf("µ=%d: %d roots", mu, len(res.Roots))
+		}
+		for i, r := range res.Roots {
+			if r.Value.Cmp(new(big.Rat).SetInt64(int64(i+1))) != 0 {
+				t.Fatalf("µ=%d root %d = %v", mu, i, r.Value)
+			}
+		}
+	}
+}
+
+func TestIntegrationChebyshevExtremes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// T_21's extreme roots are ±cos(π/42) ≈ ±0.9972; at µ=48 the
+	// approximations must land within 2^-48 above the true values.
+	tn := workload.Chebyshev(21)
+	coeffs := make([]*big.Int, tn.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = tn.Coeff(i).ToBig()
+	}
+	res, err := FindRoots(coeffs, &Options{Precision: 48, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Roots) != 21 {
+		t.Fatalf("%d roots", len(res.Roots))
+	}
+	last := res.Roots[20].Float64()
+	want := 0.9972037971811801 // cos(π/42)
+	if last < want-1e-12 || last > want+1e-12 {
+		t.Fatalf("largest Chebyshev root %v, want ≈ %v", last, want)
+	}
+	// Chebyshev roots are symmetric; the middle root of T_21 is 0.
+	if res.Roots[10].Value.Sign() != 0 {
+		t.Fatalf("middle root %v, want 0", res.Roots[10])
+	}
+}
+
+func TestIntegrationLaguerrePositivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// All Laguerre roots are positive.
+	l := workload.Laguerre(14)
+	coeffs := make([]*big.Int, l.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = l.Coeff(i).ToBig()
+	}
+	res, err := FindRoots(coeffs, &Options{Precision: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Roots {
+		if r.Value.Sign() <= 0 {
+			t.Fatalf("non-positive Laguerre root %v", r.Value)
+		}
+	}
+}
+
+func TestIntegrationHighPrecision512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// 512-bit √5 via x² - 5; verify against (√5)² by squaring the
+	// approximation: x̃² ∈ [5, 5 + 2·√5·2^-512 + 2^-1024].
+	res, err := FindRootsInt64([]int64{-5, 0, 1}, &Options{Precision: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := new(big.Rat).Mul(res.Roots[1].Value, res.Roots[1].Value)
+	five := new(big.Rat).SetInt64(5)
+	if sq.Cmp(five) < 0 {
+		t.Fatal("x̃ below √5 (ceiling convention violated)")
+	}
+	// Error bound: x̃² - 5 < 3·2^-510 comfortably.
+	bound := new(big.Rat).SetFrac(big.NewInt(3), new(big.Int).Lsh(big.NewInt(1), 510))
+	if diff := new(big.Rat).Sub(sq, five); diff.Cmp(bound) > 0 {
+		t.Fatalf("x̃² - 5 = %v exceeds bound", diff.FloatString(160))
+	}
+}
+
+func TestIntegrationMixedMultiplicityStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		p := workload.WithMultiplicities(int64(trial), 4, 30, 3)
+		coeffs := make([]*big.Int, p.Degree()+1)
+		for i := range coeffs {
+			coeffs[i] = p.Coeff(i).ToBig()
+		}
+		res, err := FindRoots(coeffs, &Options{Precision: 16, Workers: 1 + r.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0
+		for _, root := range res.Roots {
+			total += root.Multiplicity
+			// Every reported root of an integer-rooted product is an
+			// exact integer.
+			if !root.Value.IsInt() {
+				t.Fatalf("trial %d: non-integer root %v", trial, root.Value)
+			}
+		}
+		if total != res.Degree {
+			t.Fatalf("trial %d: multiplicities %d != degree %d", trial, total, res.Degree)
+		}
+	}
+}
+
+func TestIntegrationLargeCoefficients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// Roots at ±10^30 and 0: coefficient sizes ≈ 200 bits.
+	r := new(big.Int).Exp(big.NewInt(10), big.NewInt(30), nil)
+	negSq := new(big.Int).Neg(new(big.Int).Mul(r, r))
+	// p = x(x-10^30)(x+10^30) = x³ - 10^60·x.
+	coeffs := []*big.Int{big.NewInt(0), negSq, big.NewInt(0), big.NewInt(1)}
+	res, err := FindRoots(coeffs, &Options{Precision: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Roots) != 3 {
+		t.Fatalf("%d roots", len(res.Roots))
+	}
+	if res.Roots[0].Value.Cmp(new(big.Rat).SetInt(new(big.Int).Neg(r))) != 0 ||
+		res.Roots[1].Value.Sign() != 0 ||
+		res.Roots[2].Value.Cmp(new(big.Rat).SetInt(r)) != 0 {
+		t.Fatalf("roots = %v", res.Roots)
+	}
+}

@@ -1,0 +1,190 @@
+// Package charpoly computes exact characteristic polynomials of integer
+// matrices. The paper's evaluation inputs are "the characteristic
+// equations of randomly generated symmetric matrices over the integers"
+// (§5) — symmetric real matrices have only real eigenvalues, so their
+// characteristic polynomials are exactly the real-rooted inputs the
+// algorithm requires.
+package charpoly
+
+import (
+	"fmt"
+	"math/rand"
+
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// A Matrix is a dense n×n integer matrix.
+type Matrix struct {
+	n int
+	a []*mp.Int // row-major
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("charpoly: invalid dimension %d", n))
+	}
+	a := make([]*mp.Int, n*n)
+	for i := range a {
+		a[i] = new(mp.Int)
+	}
+	return &Matrix{n: n, a: a}
+}
+
+// FromRows builds a matrix from int64 rows; all rows must have equal
+// length n ≥ 1.
+func FromRows(rows [][]int64) (*Matrix, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("charpoly: empty matrix")
+	}
+	m := NewMatrix(n)
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("charpoly: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			m.a[i*n+j].SetInt64(v)
+		}
+	}
+	return m, nil
+}
+
+// Dim returns the dimension n.
+func (m *Matrix) Dim() int { return m.n }
+
+// At returns entry (i, j). The returned value must not be mutated.
+func (m *Matrix) At(i, j int) *mp.Int { return m.a[i*m.n+j] }
+
+// Set sets entry (i, j) to v (copied).
+func (m *Matrix) Set(i, j int, v *mp.Int) { m.a[i*m.n+j].Set(v) }
+
+// SetInt64 sets entry (i, j) to v.
+func (m *Matrix) SetInt64(i, j int, v int64) { m.a[i*m.n+j].SetInt64(v) }
+
+// IsSymmetric reports whether m equals its transpose.
+func (m *Matrix) IsSymmetric() bool {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if m.At(i, j).Cmp(m.At(j, i)) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RandomSymmetric01 returns a random symmetric n×n 0-1 matrix drawn from
+// r — the paper's input distribution (§5: "the matrices generated were
+// random 0-1 matrices").
+func RandomSymmetric01(r *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := int64(r.Intn(2))
+			m.SetInt64(i, j, v)
+			m.SetInt64(j, i, v)
+		}
+	}
+	return m
+}
+
+// RandomSymmetric returns a random symmetric matrix with entries uniform
+// in [-bound, bound].
+func RandomSymmetric(r *rand.Rand, n int, bound int64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Int63n(2*bound+1) - bound
+			m.SetInt64(i, j, v)
+			m.SetInt64(j, i, v)
+		}
+	}
+	return m
+}
+
+// mul returns the matrix product x·y.
+func mul(x, y *Matrix) *Matrix {
+	n := x.n
+	z := NewMatrix(n)
+	var t mp.Int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := z.a[i*n+j]
+			for k := 0; k < n; k++ {
+				xe, ye := x.a[i*n+k], y.a[k*n+j]
+				if xe.IsZero() || ye.IsZero() {
+					continue
+				}
+				t.Mul(xe, ye)
+				acc.Add(acc, &t)
+			}
+		}
+	}
+	return z
+}
+
+// trace returns tr(m).
+func (m *Matrix) trace() *mp.Int {
+	t := new(mp.Int)
+	for i := 0; i < m.n; i++ {
+		t.Add(t, m.At(i, i))
+	}
+	return t
+}
+
+// addScaledIdentity adds c·I to m in place.
+func (m *Matrix) addScaledIdentity(c *mp.Int) {
+	for i := 0; i < m.n; i++ {
+		d := m.a[i*m.n+i]
+		d.Add(d, c)
+	}
+}
+
+// CharPoly returns the characteristic polynomial det(λI - A) of A as a
+// monic integer polynomial in λ, computed by the Faddeev–LeVerrier
+// recurrence. All divisions in the recurrence are exact over ℤ.
+func CharPoly(a *Matrix) *poly.Poly {
+	n := a.n
+	// c[n] = 1; for k = 1..n:
+	//   M_k = A·(M_{k-1} + c_{n-k+1}·I)   (with M_0 such that M_1 = A)
+	//   c_{n-k} = -tr(M_k)/k.
+	c := make([]*mp.Int, n+1)
+	c[n] = mp.NewInt(1)
+	var m *Matrix
+	for k := 1; k <= n; k++ {
+		if k == 1 {
+			m = a
+		} else {
+			m.addScaledIdentity(c[n-k+1])
+			m = mul(a, m)
+		}
+		tr := m.trace()
+		ck := new(mp.Int).Neg(tr)
+		c[n-k] = ck.DivExact(ck, mp.NewInt(int64(k)))
+		if k == 1 {
+			// Copy A so the caller's matrix is never mutated.
+			m = cloneMatrix(a)
+		}
+	}
+	return poly.New(c...)
+}
+
+func cloneMatrix(a *Matrix) *Matrix {
+	z := NewMatrix(a.n)
+	for i, v := range a.a {
+		z.a[i].Set(v)
+	}
+	return z
+}
+
+// Det returns det(A) = (-1)^n · charpoly(0).
+func Det(a *Matrix) *mp.Int {
+	p := CharPoly(a)
+	d := new(mp.Int).Set(p.Coeff(0))
+	if a.n%2 != 0 {
+		d.Neg(d)
+	}
+	return d
+}

@@ -1,0 +1,183 @@
+package charpoly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// detCofactor computes det(A) by cofactor expansion — an independent
+// O(n!) oracle for small matrices.
+func detCofactor(a *Matrix) *mp.Int {
+	n := a.n
+	if n == 1 {
+		return new(mp.Int).Set(a.At(0, 0))
+	}
+	det := new(mp.Int)
+	for j := 0; j < n; j++ {
+		if a.At(0, j).IsZero() {
+			continue
+		}
+		sub := NewMatrix(n - 1)
+		for i := 1; i < n; i++ {
+			cj := 0
+			for k := 0; k < n; k++ {
+				if k == j {
+					continue
+				}
+				sub.Set(i-1, cj, a.At(i, k))
+				cj++
+			}
+		}
+		term := new(mp.Int).Mul(a.At(0, j), detCofactor(sub))
+		if j%2 == 1 {
+			term.Neg(term)
+		}
+		det.Add(det, term)
+	}
+	return det
+}
+
+// charPolyOracle computes det(λI - A) by evaluating the determinant at
+// n+1 integer points and interpolating via Newton's divided differences
+// scaled to integers — here simpler: evaluate det(kI - A) for k=0..n and
+// compare against p(k).
+func TestCharPolyMatchesDeterminantEvaluations(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(5)
+		a := RandomSymmetric(r, n, 4)
+		p := CharPoly(a)
+		if p.Degree() != n || !p.Lead().IsOne() {
+			t.Fatalf("charpoly degree %d lead %s, want monic degree %d", p.Degree(), p.Lead(), n)
+		}
+		for k := int64(-2); k <= int64(n); k++ {
+			// det(kI - A) via cofactor oracle.
+			m := NewMatrix(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := new(mp.Int).Neg(a.At(i, j))
+					if i == j {
+						v.Add(v, mp.NewInt(k))
+					}
+					m.Set(i, j, v)
+				}
+			}
+			want := detCofactor(m)
+			got := p.Eval(mp.NewInt(k))
+			if got.Cmp(want) != 0 {
+				t.Fatalf("p(%d) = %s, want det = %s (n=%d)", k, got, want, n)
+			}
+		}
+	}
+}
+
+func TestCharPolyDiagonal(t *testing.T) {
+	// Diagonal matrix diag(d1..dn) has char poly ∏(λ - di).
+	d := []int64{3, -1, 4, 0}
+	a := NewMatrix(4)
+	roots := make([]*mp.Int, len(d))
+	for i, v := range d {
+		a.SetInt64(i, i, v)
+		roots[i] = mp.NewInt(v)
+	}
+	got := CharPoly(a)
+	want := poly.FromRoots(roots...)
+	if !got.Equal(want) {
+		t.Fatalf("charpoly(diag) = %s, want %s", got, want)
+	}
+}
+
+func TestCharPolyTraceAndDet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := RandomSymmetric(r, n, 5)
+		p := CharPoly(a)
+		// Coefficient of λ^(n-1) is -tr(A).
+		tr := new(mp.Int)
+		for i := 0; i < n; i++ {
+			tr.Add(tr, a.At(i, i))
+		}
+		if new(mp.Int).Neg(tr).Cmp(p.Coeff(n-1)) != 0 {
+			return false
+		}
+		// Constant term is (-1)^n det(A).
+		det := detCofactor(a)
+		if n%2 != 0 {
+			det.Neg(det)
+		}
+		return det.Cmp(p.Coeff(0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharPolyDoesNotMutateInput(t *testing.T) {
+	a, err := FromRows([][]int64{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	CharPoly(a)
+	if a.At(0, 0).Int64() != 1 || a.At(1, 1).Int64() != 3 || a.At(0, 1).Int64() != 2 {
+		t.Fatal("CharPoly mutated its input")
+	}
+}
+
+func TestRandomSymmetric01(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := RandomSymmetric01(r, 10)
+	if !m.IsSymmetric() {
+		t.Fatal("not symmetric")
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			v := m.At(i, j).Int64()
+			if v != 0 && v != 1 {
+				t.Fatalf("entry (%d,%d) = %d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := FromRows([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]int64{{2, 1}, {1, 2}})
+	if got := Det(a).Int64(); got != 3 {
+		t.Errorf("det = %d, want 3", got)
+	}
+	b, _ := FromRows([][]int64{{0, 1}, {1, 0}})
+	if got := Det(b).Int64(); got != -1 {
+		t.Errorf("det = %d, want -1", got)
+	}
+	c, _ := FromRows([][]int64{{5}})
+	if got := Det(c).Int64(); got != 5 {
+		t.Errorf("det = %d, want 5", got)
+	}
+}
+
+func TestCharPolyIdentity(t *testing.T) {
+	n := 6
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.SetInt64(i, i, 1)
+	}
+	p := CharPoly(a)
+	// (λ-1)^6.
+	want := poly.FromRoots(mp.NewInt(1), mp.NewInt(1), mp.NewInt(1), mp.NewInt(1), mp.NewInt(1), mp.NewInt(1))
+	if !p.Equal(want) {
+		t.Fatalf("charpoly(I) = %s", p)
+	}
+}

@@ -1,0 +1,40 @@
+package charpoly
+
+import (
+	"math/rand"
+	"testing"
+
+	"realroots/internal/sched"
+)
+
+func TestCharPolyParallelMatchesSequential(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(12)
+		a := RandomSymmetric01(r, n)
+		seq := CharPoly(a)
+		par := CharPolyParallel(a, pool)
+		if !seq.Equal(par) {
+			t.Fatalf("n=%d: parallel charpoly differs", n)
+		}
+	}
+}
+
+func TestCharPolyParallelNilPool(t *testing.T) {
+	a, _ := FromRows([][]int64{{2, 1}, {1, 2}})
+	if !CharPolyParallel(a, nil).Equal(CharPoly(a)) {
+		t.Fatal("nil pool fallback differs")
+	}
+}
+
+func TestCharPolyParallelDoesNotMutate(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	a, _ := FromRows([][]int64{{1, 2, 0}, {2, 0, 1}, {0, 1, 3}})
+	CharPolyParallel(a, pool)
+	if a.At(0, 0).Int64() != 1 || a.At(2, 2).Int64() != 3 || a.At(1, 0).Int64() != 2 {
+		t.Fatal("input mutated")
+	}
+}

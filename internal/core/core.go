@@ -1,0 +1,484 @@
+// Package core implements the complete parallel root-approximation
+// algorithm of Narendran & Tiwari: the precomputation of the remainder
+// and quotient sequences (§3.1), the bottom-up computation of the
+// interleaving-tree polynomials, and the interval problems at every
+// node (§3.2), orchestrated either sequentially or on a dynamic
+// task-queue scheduler whose task kinds and dependencies mirror the
+// paper's Fig. 3.2 (RECURSE, COMPUTEPOLY split into per-entry matrix
+// tasks, SORT, PREINTERVAL, INTERVAL).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"realroots/internal/dyadic"
+	"realroots/internal/interval"
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+	"realroots/internal/remseq"
+	"realroots/internal/sched"
+	"realroots/internal/tree"
+)
+
+// Options configures a root-finding run.
+type Options struct {
+	// Mu is the output precision: roots are returned as 2^-µ·⌈2^µ·x⌉.
+	Mu uint
+	// Workers is the number of scheduler workers (the paper's processor
+	// count). 0 or 1 runs the fully sequential path.
+	Workers int
+	// Method selects the interval-refinement strategy (default: the
+	// paper's hybrid).
+	Method interval.Method
+	// SequentialPrecompute forces the remainder-sequence stage to run
+	// sequentially even when Workers > 1 — the paper's run-time option.
+	SequentialPrecompute bool
+	// Grain batches coefficient tasks in the remainder stage; ≤ 0 means
+	// one coefficient per task.
+	Grain int
+	// SimulateWorkers, when > 0, executes the task graph on one real
+	// worker while list-scheduling the measured task durations onto this
+	// many *virtual* processors (see sched.NewSimulatedPool). The
+	// simulated makespan is reported in Stats. Used to reproduce the
+	// paper's multiprocessor speedup experiments on hosts without the
+	// paper's 20-processor shared-memory machine. Mutually exclusive
+	// with Workers.
+	SimulateWorkers int
+	// Counters, if non-nil, accumulates per-phase arithmetic counts.
+	Counters *metrics.Counters
+	// CheckTree enables the Theorem 1 structural self-check on the
+	// computed tree (tests and debugging).
+	CheckTree bool
+}
+
+// Stats reports timing and scheduling details of a run.
+type Stats struct {
+	Precompute time.Duration // remainder-sequence stage
+	TreeSolve  time.Duration // tree polynomials + all interval problems
+	Total      time.Duration
+	Tasks      int64 // tasks executed by the scheduler (parallel runs)
+
+	// Simulation-mode outputs (Options.SimulateWorkers > 0):
+	// SimMakespan is the virtual completion time on the simulated
+	// processors; SimWork is the total measured task time (the
+	// one-processor makespan).
+	SimMakespan, SimWork time.Duration
+
+	// TaskKinds counts the scheduler tasks executed per kind on
+	// parallel/simulated runs — the task taxonomy of the paper's
+	// Fig. 3.2 plus the precomputation stage's coefficient tasks.
+	TaskKinds TaskKindCounts
+}
+
+// TaskKindCounts breaks the executed tasks down by kind.
+type TaskKindCounts struct {
+	Precompute  int64 // remainder-stage coefficient tasks (§3.1)
+	ComputePoly int64 // matrix-entry products, seeds, and divisions (§3.2)
+	Sort        int64 // child-root merges
+	PreInterval int64 // interleaving-point evaluations
+	Interval    int64 // per-root interval problems
+}
+
+// Total returns the total task count.
+func (t TaskKindCounts) Total() int64 {
+	return t.Precompute + t.ComputePoly + t.Sort + t.PreInterval + t.Interval
+}
+
+// Result is the outcome of FindRoots.
+type Result struct {
+	// Roots holds the µ-approximations of the distinct real roots of
+	// the input, in ascending order.
+	Roots []dyadic.Dyadic
+	// Degree is the input degree; NStar the number of distinct roots.
+	Degree, NStar int
+	// Squarefree reports whether the input itself was squarefree.
+	Squarefree bool
+	Stats      Stats
+}
+
+// A RootMult is a distinct root together with its multiplicity.
+type RootMult struct {
+	Root dyadic.Dyadic
+	Mult int
+}
+
+// ErrNoRealRoots wraps the precondition violations from remseq.
+var (
+	ErrNotAllReal = remseq.ErrNotAllReal
+)
+
+// FindRoots computes µ-approximations to all distinct real roots of p,
+// which must be a non-constant integer polynomial all of whose roots
+// are real. Repeated roots are handled by reducing to the squarefree
+// part (the preprocessing counterpart of the paper's §2.3 extension).
+func FindRoots(p *poly.Poly, opts Options) (*Result, error) {
+	start := time.Now()
+	if p.IsZero() {
+		return nil, errors.New("core: zero polynomial")
+	}
+	if p.Degree() < 1 {
+		return nil, fmt.Errorf("core: constant polynomial has no roots")
+	}
+	ps := p
+	squarefree := true
+	if !p.IsSquarefree() {
+		ps = p.SquarefreePart()
+		squarefree = false
+	}
+	res, err := findRootsSquarefree(ps, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Degree = p.Degree()
+	res.Squarefree = squarefree
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// FindRootsWithMultiplicity computes every distinct real root of p
+// together with its multiplicity, by solving each factor of p's Yun
+// squarefree decomposition separately and merging.
+func FindRootsWithMultiplicity(p *poly.Poly, opts Options) ([]RootMult, error) {
+	if p.Degree() < 1 {
+		return nil, fmt.Errorf("core: polynomial of degree %d has no roots", p.Degree())
+	}
+	factors := poly.Yun(p)
+	var out []RootMult
+	for k, u := range factors {
+		if u.Degree() < 1 {
+			continue
+		}
+		r, err := FindRoots(u, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: multiplicity-%d factor: %w", k+1, err)
+		}
+		for _, root := range r.Roots {
+			out = append(out, RootMult{Root: root, Mult: k + 1})
+		}
+	}
+	// Merge-sort the factor outputs (each is sorted; factors' root sets
+	// are disjoint).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Root.Cmp(out[j-1].Root) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
+	ctx := metrics.Ctx{C: opts.Counters}
+	n := p.Degree()
+
+	var pool *sched.Pool
+	switch {
+	case opts.SimulateWorkers > 0 && opts.Workers > 1:
+		return nil, errors.New("core: Workers and SimulateWorkers are mutually exclusive")
+	case opts.SimulateWorkers > 0:
+		pool = sched.NewSimulatedPool(opts.SimulateWorkers)
+		defer pool.Close()
+	case opts.Workers > 1:
+		pool = sched.NewPool(opts.Workers)
+		defer pool.Close()
+	}
+
+	// Degree-1 short-circuit: nothing to precompute.
+	if n == 1 {
+		bound := p.RootBound()
+		s := interval.NewSolver(p, nil, bound, opts.Mu, opts.Method, ctx)
+		roots := s.SolveAll()
+		return &Result{Roots: roots, NStar: 1}, nil
+	}
+
+	// Stage 1: remainder and quotient sequences.
+	t0 := time.Now()
+	seqOpts := remseq.Options{Ctx: ctx, Grain: opts.Grain}
+	if pool != nil && !opts.SequentialPrecompute {
+		seqOpts.Pool = pool
+	}
+	seq, err := remseq.Compute(p, seqOpts)
+	if err != nil {
+		return nil, err
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	precompute := time.Since(t0)
+
+	var precomputeTasks int64
+	if pool != nil {
+		precomputeTasks = pool.Executed()
+	}
+
+	// Stage 2: tree polynomials and interval problems.
+	t1 := time.Now()
+	root := tree.Build(n)
+	bound := p.RootBound()
+	var tally taskTally
+	if pool == nil {
+		solveSequential(seq, root, bound, opts, ctx)
+	} else {
+		solveParallel(pool, seq, root, bound, opts, ctx, &tally)
+	}
+	if opts.CheckTree {
+		if err := tree.CheckShape(root, n); err != nil {
+			return nil, err
+		}
+	}
+	treeSolve := time.Since(t1)
+
+	res := &Result{
+		Roots: root.Roots,
+		NStar: n,
+		Stats: Stats{Precompute: precompute, TreeSolve: treeSolve},
+	}
+	if pool != nil {
+		res.Stats.Tasks = pool.Executed()
+		res.Stats.SimMakespan, res.Stats.SimWork = pool.SimStats()
+		res.Stats.TaskKinds = TaskKindCounts{
+			Precompute:  precomputeTasks,
+			ComputePoly: tally.computePoly.Load(),
+			Sort:        tally.sort.Load(),
+			PreInterval: tally.preInterval.Load(),
+			Interval:    tally.interval.Load(),
+		}
+	}
+	if len(res.Roots) != n {
+		return nil, fmt.Errorf("core: solved %d roots for degree %d (internal invariant)", len(res.Roots), n)
+	}
+	return res, nil
+}
+
+// mergeRoots merges the two sorted child root slices (the SORT task).
+func mergeRoots(nd *tree.Node) []dyadic.Dyadic {
+	var left, right []dyadic.Dyadic
+	if nd.Left != nil {
+		left = nd.Left.Roots
+	}
+	if nd.Right != nil {
+		right = nd.Right.Roots
+	}
+	out := make([]dyadic.Dyadic, 0, len(left)+len(right))
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		if left[i].Cmp(right[j]) <= 0 {
+			out = append(out, left[i])
+			i++
+		} else {
+			out = append(out, right[j])
+			j++
+		}
+	}
+	out = append(out, left[i:]...)
+	out = append(out, right[j:]...)
+	return out
+}
+
+// solveSequential runs the whole second stage in post-order on the
+// calling goroutine.
+func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, ctx metrics.Ctx) {
+	root.Walk(func(nd *tree.Node) {
+		tree.ComputePoly(seq, ctx, nd)
+		ys := mergeRoots(nd)
+		s := interval.NewSolver(nd.P, ys, bound, opts.Mu, opts.Method, ctx)
+		nd.Roots = s.SolveAll()
+	})
+}
+
+// taskTally counts executed tree-stage tasks per Fig. 3.2 kind.
+type taskTally struct {
+	computePoly, sort, preInterval, interval atomic.Int64
+}
+
+// nodeState carries the per-node synchronization data of the parallel
+// driver: the paper's "status data structures corresponding to the
+// nodes of the tree ... used to schedule the tasks" (§3.2).
+type nodeState struct {
+	polyGate  *sched.Gate // children's T matrices → COMPUTEPOLY
+	sortGate  *sched.Gate // children's roots → SORT
+	readyGate *sched.Gate // {poly done, sort done} → PREINTERVAL fan-out
+	m1        tree.Matrix2
+	ys        []dyadic.Dyadic
+	solver    *interval.Solver
+}
+
+// solveParallel runs the second stage as a dependency-driven task graph
+// on the pool. Task kinds per node (Fig. 3.2):
+//
+//	RECURSE      — builds the node state (the skeleton is already built
+//	               by tree.Build; the state initialization here is the
+//	               residue of the paper's top-down phase)
+//	COMPUTEPOLY  — two 2×2 polynomial matrix products, one after the
+//	               other, each split into 4 entry tasks
+//	SORT         — merge the children's sorted root lists
+//	PREINTERVAL  — one task per interleaving-point evaluation
+//	INTERVAL     — one task per interval problem
+//
+// A node is complete when all its INTERVAL tasks are; completion
+// signals the parent's SORT gate. COMPUTEPOLY completion signals the
+// parent's COMPUTEPOLY gate.
+func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, ctx metrics.Ctx, tally *taskTally) {
+	n := seq.N
+	states := make(map[*tree.Node]*nodeState)
+	done := make(chan struct{})
+
+	// RECURSE: allocate states top-down.
+	var recurse func(nd *tree.Node)
+	recurse = func(nd *tree.Node) {
+		states[nd] = &nodeState{}
+		if nd.Left != nil {
+			recurse(nd.Left)
+		}
+		if nd.Right != nil {
+			recurse(nd.Right)
+		}
+	}
+	recurse(root)
+
+	// nodeDone: node's roots are ready.
+	nodeDone := func(nd *tree.Node) {
+		if nd.Parent == nil {
+			close(done)
+			return
+		}
+		states[nd.Parent].sortGate.Done()
+	}
+
+	// polyDone: node's P (and T if applicable) is ready.
+	polyDone := func(nd *tree.Node) {
+		if nd.Parent != nil {
+			if ps := states[nd.Parent]; ps.polyGate != nil {
+				ps.polyGate.Done()
+			}
+		}
+		states[nd].readyGate.Done()
+	}
+
+	// Wire up each node's gates (bottom-up so gates exist before any
+	// task can fire them; no task runs until the pool sees it).
+	root.Walk(func(nd *tree.Node) {
+		st := states[nd]
+
+		// PREINTERVAL fan-out, then INTERVAL fan-out, once both the
+		// polynomial and the merged child roots are available.
+		st.readyGate = sched.NewGate(pool, 2, func() {
+			st.solver = interval.NewSolver(nd.P, st.ys, bound, opts.Mu, opts.Method, ctx)
+			d := st.solver.NumRoots()
+			roots := make([]dyadic.Dyadic, d)
+			intervalGate := sched.NewGate(pool, d, func() {
+				nd.Roots = roots
+				nodeDone(nd)
+			})
+			preGate := sched.NewGate(pool, st.solver.NumPoints(), func() {
+				for i := 0; i < d; i++ {
+					i := i
+					pool.Submit(func() { // INTERVAL task
+						tally.interval.Add(1)
+						roots[i] = st.solver.SolveInterval(i)
+						intervalGate.Done()
+					})
+				}
+			})
+			for i := 0; i < st.solver.NumPoints(); i++ {
+				i := i
+				pool.Submit(func() { // PREINTERVAL task
+					tally.preInterval.Add(1)
+					st.solver.EvalPoint(i)
+					preGate.Done()
+				})
+			}
+		})
+
+		// SORT gate: children's roots.
+		nChildren := 0
+		if nd.Left != nil {
+			nChildren++
+		}
+		if nd.Right != nil {
+			nChildren++
+		}
+		st.sortGate = sched.NewGate(pool, nChildren, func() { // SORT task
+			tally.sort.Add(1)
+			st.ys = mergeRoots(nd)
+			st.readyGate.Done()
+		})
+
+		// COMPUTEPOLY path: seed tasks (leaves, rightmost spine) are
+		// submitted in a second pass below, after all gates exist.
+		switch {
+		case nd.J == n, nd.IsLeaf():
+			// Rightmost spine (P = F_{i-1}, no products) or leaf (T = Ŝ_i).
+		default:
+			needs := 1 // left child always carries a T here
+			if nd.Right != nil {
+				needs = 2
+			}
+			st.polyGate = sched.NewGate(pool, needs, func() {
+				// First product: M1 = Ŝ_k · T_left, 4 entry tasks.
+				sh := tree.SHat(seq, nd.K)
+				tctx := ctx.In(metrics.PhaseTree)
+				secondGate := sched.NewGate(pool, 4, func() {
+					tally.computePoly.Add(1)
+					// Second product (or scalar fold) + exact division.
+					if nd.Right == nil {
+						t := st.m1.DivExact(tctx, seq.Csq(nd.K-1))
+						nd.T = t
+						nd.P = t[1][1]
+						polyDone(nd)
+						return
+					}
+					divisor := new(mp.Int).Mul(seq.Csq(nd.K), seq.Csq(nd.K-1))
+					prod := new(tree.Matrix2)
+					prodGate := sched.NewGate(pool, 4, func() {
+						tally.computePoly.Add(1)
+						t := prod.DivExact(tctx, divisor)
+						nd.T = t
+						nd.P = t[1][1]
+						polyDone(nd)
+					})
+					for r := 0; r < 2; r++ {
+						for c := 0; c < 2; c++ {
+							r, c := r, c
+							pool.Submit(func() { // COMPUTEPOLY entry task (2nd product)
+								tally.computePoly.Add(1)
+								prod[r][c] = tree.MulEntry(tctx, nd.Right.T, &st.m1, r, c)
+								prodGate.Done()
+							})
+						}
+					}
+				})
+				for r := 0; r < 2; r++ {
+					for c := 0; c < 2; c++ {
+						r, c := r, c
+						pool.Submit(func() { // COMPUTEPOLY entry task (1st product)
+							tally.computePoly.Add(1)
+							st.m1[r][c] = tree.MulEntry(tctx, sh, nd.Left.T, r, c)
+							secondGate.Done()
+						})
+					}
+				}
+			})
+		}
+	})
+
+	// Second pass: submit the seed COMPUTEPOLY tasks now that every gate
+	// exists (a seed completing mid-wiring could otherwise signal a
+	// parent whose gates are not yet constructed).
+	root.Walk(func(nd *tree.Node) {
+		if nd.J == n || nd.IsLeaf() {
+			nd := nd
+			pool.Submit(func() { // COMPUTEPOLY seed task
+				tally.computePoly.Add(1)
+				tree.ComputePoly(seq, ctx, nd)
+				polyDone(nd)
+			})
+		}
+	})
+
+	pool.Wait()
+	<-done
+}

@@ -1,0 +1,52 @@
+package dyadic
+
+import (
+	"math/big"
+	"testing"
+
+	"realroots/internal/mp"
+)
+
+func FuzzDyadicArithmetic(f *testing.F) {
+	f.Add(int64(3), uint(2), int64(-7), uint(5))
+	f.Add(int64(0), uint(0), int64(1), uint(30))
+	f.Fuzz(func(t *testing.T, an int64, as uint, bn int64, bs uint) {
+		as %= 64
+		bs %= 64
+		a := New(mp.NewInt(an), as)
+		b := New(mp.NewInt(bn), bs)
+		ra, rb := a.Rat(), b.Rat()
+		if a.Add(b).Rat().Cmp(new(big.Rat).Add(ra, rb)) != 0 {
+			t.Fatalf("Add(%v, %v)", a, b)
+		}
+		if a.Sub(b).Rat().Cmp(new(big.Rat).Sub(ra, rb)) != 0 {
+			t.Fatalf("Sub(%v, %v)", a, b)
+		}
+		if a.Mul(b).Rat().Cmp(new(big.Rat).Mul(ra, rb)) != 0 {
+			t.Fatalf("Mul(%v, %v)", a, b)
+		}
+		if a.Cmp(b) != ra.Cmp(rb) {
+			t.Fatalf("Cmp(%v, %v)", a, b)
+		}
+	})
+}
+
+func FuzzGridRounding(f *testing.F) {
+	f.Add(int64(7), uint(5), uint(2))
+	f.Fuzz(func(t *testing.T, n int64, s uint, mu uint) {
+		s %= 64
+		mu %= 64
+		d := New(mp.NewInt(n), s)
+		up := d.CeilGrid(mu)
+		dn := d.FloorGrid(mu)
+		if dn.Cmp(d) > 0 || up.Cmp(d) < 0 {
+			t.Fatalf("grid rounding not bracketing: %v in [%v, %v]?", d, dn, up)
+		}
+		if !up.OnGrid(mu) || !dn.OnGrid(mu) {
+			t.Fatalf("rounded values off grid: %v %v (µ=%d)", dn, up, mu)
+		}
+		if up.Sub(dn).Cmp(GridStep(mu)) > 0 {
+			t.Fatalf("rounding gap exceeds grid step for %v at µ=%d", d, mu)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package interval
+
+import (
+	"fmt"
+	"testing"
+
+	"realroots/internal/dyadic"
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// benchSolver builds a fresh solver over x² - 2 at the given precision.
+func benchSolver(mu uint, m Method) *Solver {
+	p := poly.FromInt64s(-2, 0, 1)
+	return NewSolver(p, []dyadic.Dyadic{dyadic.FromInt64(0)}, p.RootBound(), mu, m, metrics.Ctx{})
+}
+
+func BenchmarkSolveSqrt2(b *testing.B) {
+	for _, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+		for _, mu := range []uint{16, 64, 256} {
+			b.Run(fmt.Sprintf("%v/mu=%d", m, mu), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					benchSolver(mu, m).SolveAll()
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSolveWilkinson(b *testing.B) {
+	// Integer-rooted degree-16 polynomial with tight midpoint intervals.
+	var roots []*mp.Int
+	for i := 1; i <= 16; i++ {
+		roots = append(roots, mp.NewInt(int64(i)))
+	}
+	p := poly.FromRoots(roots...)
+	var ys []dyadic.Dyadic
+	for i := 1; i < 16; i++ {
+		ys = append(ys, dyadic.New(mp.NewInt(int64(2*i+1)), 1)) // i + 1/2
+	}
+	for i := 0; i < b.N; i++ {
+		s := NewSolver(p, ys, p.RootBound(), 32, MethodHybrid, metrics.Ctx{})
+		s.SolveAll()
+	}
+}

@@ -1,0 +1,141 @@
+package interval
+
+import (
+	"testing"
+
+	"realroots/internal/dyadic"
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// Explicit constructions driving each branch of the paper's §2.2 case
+// analysis.
+
+// TestCase1CoincidentApproximations: ỹ_i == ỹ_{i+1} pins the root with
+// no further work (case 1).
+func TestCase1CoincidentApproximations(t *testing.T) {
+	// Roots 1/16, 1/8, 3/16 at µ=1: both interleaving values (anything
+	// strictly between the roots) round up to 1/2.
+	p := poly.New(mp.NewInt(-1), mp.NewInt(16)).
+		Mul(poly.New(mp.NewInt(-1), mp.NewInt(8))).
+		Mul(poly.New(mp.NewInt(-3), mp.NewInt(16)))
+	half := dyadic.New(mp.NewInt(1), 1)
+	var c metrics.Counters
+	s := NewSolver(p, []dyadic.Dyadic{half, half}, p.RootBound(), 1, MethodHybrid, metrics.Ctx{C: &c})
+	roots := s.SolveAll()
+	for i, r := range roots {
+		if !r.Equal(half) {
+			t.Fatalf("root %d = %v, want 1/2", i, r)
+		}
+	}
+	// The middle gap is case 1: zero refinement evaluations can be
+	// attributed to it. (The outer gaps still refine, so just check the
+	// middle interval in isolation.)
+	before := c.Snapshot()
+	if got := s.SolveInterval(1); !got.Equal(half) {
+		t.Fatalf("middle root = %v", got)
+	}
+	diff := c.Snapshot().Sub(before)
+	refine := diff.Phases[metrics.PhaseSieve].Evals +
+		diff.Phases[metrics.PhaseBisection].Evals +
+		diff.Phases[metrics.PhaseNewton].Evals
+	if refine != 0 {
+		t.Fatalf("case 1 performed %d refinement evaluations", refine)
+	}
+}
+
+// TestCase2aRootAtOrBelowApproximation: m(ỹ_i) = i+1, so
+// x_i ∈ (ỹ_i - 2^-µ, ỹ_i] and x̃_i = ỹ_i with no refinement (case 2a).
+func TestCase2aRootAtOrBelowApproximation(t *testing.T) {
+	// Roots 0 and 15/16; true interleaving value 0.9 rounds up to 1 at
+	// µ=2, overshooting the second root (15/16 ≤ 1).
+	p := poly.FromInt64s(0, 1).Mul(poly.New(mp.NewInt(-15), mp.NewInt(16)))
+	one := dyadic.FromInt64(1)
+	var c metrics.Counters
+	s := NewSolver(p, []dyadic.Dyadic{one}, p.RootBound(), 2, MethodHybrid, metrics.Ctx{C: &c})
+	for i := 0; i < s.NumPoints(); i++ {
+		s.EvalPoint(i)
+	}
+	before := c.Snapshot()
+	got := s.SolveInterval(1) // the gap [1, B)
+	if !got.Equal(one) {
+		t.Fatalf("x̃_1 = %v, want 1 (case 2a)", got)
+	}
+	diff := c.Snapshot().Sub(before)
+	total := diff.Total()
+	if total.Evals != 0 {
+		t.Fatalf("case 2a performed %d evaluations", total.Evals)
+	}
+	// And the other root resolves to 0 exactly.
+	if got := s.SolveInterval(0); got.Sign() != 0 {
+		t.Fatalf("x̃_0 = %v, want 0", got)
+	}
+}
+
+// TestCase2bRootInLastStep: m(ỹ_{i+1} - 2^-µ) = i, so the root lies in
+// (ỹ_{i+1} - 2^-µ, ỹ_{i+1}] and x̃_i = ỹ_{i+1} after the single c-probe
+// (case 2b).
+func TestCase2bRootInLastStep(t *testing.T) {
+	// Roots 7/8 and 3 at µ=2 with interleaving approximation 1: the gap
+	// (-B, 1] holds 7/8 ∈ (3/4, 1], i.e. within the last grid step.
+	p := poly.New(mp.NewInt(-7), mp.NewInt(8)).Mul(poly.FromRoots(mp.NewInt(3)))
+	one := dyadic.FromInt64(1)
+	var c metrics.Counters
+	s := NewSolver(p, []dyadic.Dyadic{one}, p.RootBound(), 2, MethodHybrid, metrics.Ctx{C: &c})
+	for i := 0; i < s.NumPoints(); i++ {
+		s.EvalPoint(i)
+	}
+	before := c.Snapshot()
+	got := s.SolveInterval(0)
+	if !got.Equal(one) {
+		t.Fatalf("x̃_0 = %v, want 1 (case 2b)", got)
+	}
+	diff := c.Snapshot().Sub(before)
+	// Case 2b costs exactly the one probe at c = ỹ_{i+1} - 2^-µ.
+	if pre := diff.Phases[metrics.PhasePreInterval].Evals; pre != 1 {
+		t.Fatalf("case 2b performed %d probe evaluations, want 1", pre)
+	}
+	refine := diff.Phases[metrics.PhaseSieve].Evals +
+		diff.Phases[metrics.PhaseBisection].Evals +
+		diff.Phases[metrics.PhaseNewton].Evals
+	if refine != 0 {
+		t.Fatalf("case 2b performed %d refinement evaluations", refine)
+	}
+}
+
+// TestCaseExactRootAtProbe: the c-probe landing exactly on a root
+// returns it immediately.
+func TestCaseExactRootAtProbe(t *testing.T) {
+	// Roots 3/4 and 5 at µ=2 with interleaving approximation 1:
+	// c = 1 - 1/4 = 3/4 is exactly the root.
+	p := poly.New(mp.NewInt(-3), mp.NewInt(4)).Mul(poly.FromRoots(mp.NewInt(5)))
+	one := dyadic.FromInt64(1)
+	s := NewSolver(p, []dyadic.Dyadic{one}, p.RootBound(), 2, MethodHybrid, metrics.Ctx{})
+	for i := 0; i < s.NumPoints(); i++ {
+		s.EvalPoint(i)
+	}
+	got := s.SolveInterval(0)
+	if !got.Equal(dyadic.New(mp.NewInt(3), 2)) {
+		t.Fatalf("x̃_0 = %v, want 3/4", got)
+	}
+}
+
+// TestAdjacentGridGap: a gap of exactly one grid step resolves without
+// probing (x_i ∈ (a, a + 2^-µ] forces x̃_i = b).
+func TestAdjacentGridGap(t *testing.T) {
+	// Roots 1/3-ish… use 3/8 with µ=2 and interleaving values 1/4 and 1/2
+	// around it: gap (1/4, 1/2] of exactly one step.
+	p := poly.New(mp.NewInt(-3), mp.NewInt(8)). // root 3/8
+							Mul(poly.FromRoots(mp.NewInt(0), mp.NewInt(2)))
+	quarter := dyadic.New(mp.NewInt(1), 2)
+	halfD := dyadic.New(mp.NewInt(1), 1)
+	s := NewSolver(p, []dyadic.Dyadic{quarter, halfD}, p.RootBound(), 2, MethodHybrid, metrics.Ctx{})
+	roots := s.SolveAll()
+	if !roots[1].Equal(halfD) {
+		t.Fatalf("x̃_1 = %v, want 1/2", roots[1])
+	}
+	if roots[0].Sign() != 0 || !roots[2].Equal(dyadic.FromInt64(2)) {
+		t.Fatalf("outer roots = %v, %v", roots[0], roots[2])
+	}
+}

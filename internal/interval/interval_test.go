@@ -1,0 +1,293 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"realroots/internal/dyadic"
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// buildProblem constructs a solver for a polynomial with the given
+// strictly increasing dyadic roots, using the midpoints of consecutive
+// roots (rounded to the grid) as interleaving values — exactly what the
+// tree algorithm feeds each node.
+func buildProblem(t *testing.T, roots []dyadic.Dyadic, mu uint, method Method, ctx metrics.Ctx) *Solver {
+	t.Helper()
+	// p = ∏ (2^s·x - n) over the dyadic roots n/2^s, scaled to integers.
+	p := poly.FromInt64s(1)
+	for _, r := range roots {
+		lin := poly.New(new(mp.Int).Neg(r.Num()), new(mp.Int).Lsh(mp.NewInt(1), r.Scale()))
+		p = p.Mul(lin)
+	}
+	var ys []dyadic.Dyadic
+	for i := 1; i < len(roots); i++ {
+		ys = append(ys, roots[i-1].Mid(roots[i]).CeilGrid(mu))
+	}
+	return NewSolver(p, ys, p.RootBound(), mu, method, ctx)
+}
+
+func wantApprox(roots []dyadic.Dyadic, mu uint) []dyadic.Dyadic {
+	out := make([]dyadic.Dyadic, len(roots))
+	for i, r := range roots {
+		out[i] = r.CeilGrid(mu)
+	}
+	return out
+}
+
+func dy(num int64, scale uint) dyadic.Dyadic { return dyadic.New(mp.NewInt(num), scale) }
+
+func checkSolve(t *testing.T, roots []dyadic.Dyadic, mu uint, method Method) {
+	t.Helper()
+	s := buildProblem(t, roots, mu, method, metrics.Ctx{})
+	got := s.SolveAll()
+	want := wantApprox(roots, mu)
+	if len(got) != len(want) {
+		t.Fatalf("%v: got %d roots, want %d", method, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%v µ=%d: root %d = %v, want %v (roots %v)", method, mu, i, got[i], want[i], roots)
+		}
+	}
+}
+
+func TestIntegerRootsAllMethods(t *testing.T) {
+	roots := []dyadic.Dyadic{dy(-7, 0), dy(-2, 0), dy(0, 0), dy(3, 0), dy(11, 0)}
+	for _, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+		for _, mu := range []uint{1, 4, 8, 16, 32} {
+			checkSolve(t, roots, mu, m)
+		}
+	}
+}
+
+func TestDyadicRootsOffGrid(t *testing.T) {
+	// Roots at -11/8, 3/16, 5/4, 9/2 with µ coarser than some scales.
+	roots := []dyadic.Dyadic{dy(-11, 3), dy(3, 4), dy(5, 2), dy(9, 1)}
+	for _, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+		for _, mu := range []uint{1, 2, 3, 5, 10} {
+			checkSolve(t, roots, mu, m)
+		}
+	}
+}
+
+func TestCloseRootsSameGridCell(t *testing.T) {
+	// Two roots inside one 2^-1 cell: 1/8 and 3/8 both round up to 1/2.
+	roots := []dyadic.Dyadic{dy(1, 3), dy(3, 3)}
+	checkSolve(t, roots, 1, MethodHybrid)
+	checkSolve(t, roots, 1, MethodBisection)
+	// And at fine precision they separate.
+	checkSolve(t, roots, 6, MethodHybrid)
+}
+
+func TestRootExactlyOnGrid(t *testing.T) {
+	roots := []dyadic.Dyadic{dy(-3, 1), dy(1, 2), dy(2, 0)} // -1.5, 0.25, 2
+	checkSolve(t, roots, 2, MethodHybrid)
+	checkSolve(t, roots, 2, MethodNewton)
+	checkSolve(t, roots, 8, MethodBisection)
+}
+
+func TestLinearPolynomial(t *testing.T) {
+	for _, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+		checkSolve(t, []dyadic.Dyadic{dy(7, 2)}, 5, m) // single root 7/4
+		checkSolve(t, []dyadic.Dyadic{dy(-13, 0)}, 3, m)
+	}
+}
+
+func TestIrrationalRoots(t *testing.T) {
+	// x² - 2: roots ±√2. Verify the output brackets the true root:
+	// sign change of P on (x̃-2^-µ, x̃].
+	p := poly.FromInt64s(-2, 0, 1)
+	for _, mu := range []uint{4, 16, 32} {
+		for _, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+			s := NewSolver(p, []dyadic.Dyadic{dyadic.FromInt64(0)}, p.RootBound(), mu, m, metrics.Ctx{})
+			got := s.SolveAll()
+			if len(got) != 2 {
+				t.Fatalf("got %d roots", len(got))
+			}
+			step := dyadic.GridStep(mu)
+			for _, g := range got {
+				hi := p.SignAt(g.Num(), g.Scale())
+				lov := g.Sub(step)
+				lo := p.SignAt(lov.Num(), lov.Scale())
+				if hi != 0 && lo*hi >= 0 {
+					t.Fatalf("µ=%d %v: no sign change in (%v, %v]", mu, m, lov, g)
+				}
+			}
+			// x̃ is the ceiling approximation: x ≤ x̃ < x + 2^-µ.
+			sqrt2 := 1.4142135623730951
+			eps := 1.0 / float64(int64(1)<<mu)
+			if v := got[0].Float64(); v < -sqrt2-1e-12 || v >= -sqrt2+eps {
+				t.Fatalf("µ=%d root 0 approx %v outside [-√2, -√2+2^-µ)", mu, v)
+			}
+			if v := got[1].Float64(); v < sqrt2-1e-12 || v >= sqrt2+eps {
+				t.Fatalf("µ=%d root 1 approx %v outside [√2, √2+2^-µ)", mu, v)
+			}
+		}
+	}
+}
+
+func TestWilkinsonStyle(t *testing.T) {
+	// ∏ (x - i), i = 1..12 — notoriously ill-conditioned in floating
+	// point; exact arithmetic must nail every root.
+	var roots []dyadic.Dyadic
+	for i := 1; i <= 12; i++ {
+		roots = append(roots, dy(int64(i), 0))
+	}
+	checkSolve(t, roots, 16, MethodHybrid)
+}
+
+func TestMethodsAgreeQuick(t *testing.T) {
+	f := func(seed int64, muRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		mu := uint(muRaw%24) + 1
+		k := 2 + r.Intn(5)
+		seen := map[string]bool{}
+		var roots []dyadic.Dyadic
+		for len(roots) < k {
+			d := dyadic.New(mp.NewInt(int64(r.Intn(257)-128)), uint(r.Intn(4)))
+			if !seen[d.String()] {
+				seen[d.String()] = true
+				roots = append(roots, d)
+			}
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].Cmp(roots[j]) < 0 })
+		var results [3][]dyadic.Dyadic
+		for mi, m := range []Method{MethodHybrid, MethodBisection, MethodNewton} {
+			p := poly.FromInt64s(1)
+			for _, rt := range roots {
+				p = p.Mul(poly.New(new(mp.Int).Neg(rt.Num()), new(mp.Int).Lsh(mp.NewInt(1), rt.Scale())))
+			}
+			var ys []dyadic.Dyadic
+			for i := 1; i < len(roots); i++ {
+				ys = append(ys, roots[i-1].Mid(roots[i]).CeilGrid(mu))
+			}
+			s := NewSolver(p, ys, p.RootBound(), mu, m, metrics.Ctx{})
+			results[mi] = s.SolveAll()
+		}
+		for mi := 1; mi < 3; mi++ {
+			for i := range results[0] {
+				if !results[0][i].Equal(results[mi][i]) {
+					return false
+				}
+			}
+		}
+		// And they match the exact ceil-grid approximations.
+		for i, rt := range roots {
+			if !results[0][i].Equal(rt.CeilGrid(mu)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	var c metrics.Counters
+	roots := []dyadic.Dyadic{dy(-5, 0), dy(1, 3), dy(4, 0), dy(29, 2)}
+	s := buildProblem(t, roots, 20, MethodHybrid, metrics.Ctx{C: &c})
+	s.SolveAll()
+	rep := c.Snapshot()
+	if rep.Phases[metrics.PhasePreInterval].Evals == 0 {
+		t.Error("no preinterval evaluations recorded")
+	}
+	total := rep.Sum(metrics.PhaseSieve, metrics.PhaseBisection, metrics.PhaseNewton)
+	if total.Evals == 0 {
+		t.Error("no refinement evaluations recorded")
+	}
+	if rep.Phases[metrics.PhaseRemainder].Muls != 0 || rep.Phases[metrics.PhaseTree].Muls != 0 {
+		t.Error("interval work leaked into other phases")
+	}
+}
+
+func TestBisectionOnlyTouchesBisectionPhase(t *testing.T) {
+	var c metrics.Counters
+	roots := []dyadic.Dyadic{dy(-5, 0), dy(7, 1)}
+	s := buildProblem(t, roots, 16, MethodBisection, metrics.Ctx{C: &c})
+	s.SolveAll()
+	rep := c.Snapshot()
+	if rep.Phases[metrics.PhaseSieve].Evals != 0 || rep.Phases[metrics.PhaseNewton].Evals != 0 {
+		t.Error("bisection method used sieve/newton phases")
+	}
+}
+
+func TestNewtonConvergesFast(t *testing.T) {
+	// At high precision the hybrid method must use far fewer evaluations
+	// than pure bisection (the whole point of the Newton phase).
+	const mu = 256
+	roots := []dyadic.Dyadic{dy(-3, 0), dy(5, 1), dy(77, 3)}
+	var ch, cb metrics.Counters
+	sh := buildProblem(t, roots, mu, MethodHybrid, metrics.Ctx{C: &ch})
+	sh.SolveAll()
+	sb := buildProblem(t, roots, mu, MethodBisection, metrics.Ctx{C: &cb})
+	sb.SolveAll()
+	he := ch.Snapshot().Total().Evals
+	be := cb.Snapshot().Total().Evals
+	if he >= be {
+		t.Fatalf("hybrid used %d evals, bisection %d — Newton is not helping", he, be)
+	}
+}
+
+func TestRoundDiv(t *testing.T) {
+	cases := [][3]int64{
+		{7, 2, 4}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 4},
+		{6, 3, 2}, {5, 2, 3}, {-5, 2, -3}, {1, 3, 0}, {2, 3, 1}, {-2, 3, -1}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := roundDiv(mp.NewInt(c[0]), mp.NewInt(c[1])).Int64(); got != c[2] {
+			t.Errorf("roundDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := [][2]int64{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1000, 10}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := ceilLog2(c[0]); got != int(c[1]) {
+			t.Errorf("ceilLog2(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	p := poly.FromInt64s(-2, 0, 1)
+	mustPanic(t, "degree 0", func() {
+		NewSolver(poly.FromInt64s(3), nil, mp.NewInt(2), 4, MethodHybrid, metrics.Ctx{})
+	})
+	mustPanic(t, "wrong point count", func() {
+		NewSolver(p, []dyadic.Dyadic{dy(0, 0), dy(1, 0)}, mp.NewInt(4), 4, MethodHybrid, metrics.Ctx{})
+	})
+	mustPanic(t, "off grid", func() {
+		NewSolver(p, []dyadic.Dyadic{dy(1, 10)}, mp.NewInt(4), 4, MethodHybrid, metrics.Ctx{})
+	})
+	mustPanic(t, "unsorted", func() {
+		q := poly.FromRoots(mp.NewInt(-2), mp.NewInt(0), mp.NewInt(2))
+		NewSolver(q, []dyadic.Dyadic{dy(1, 0), dy(-1, 0)}, mp.NewInt(4), 4, MethodHybrid, metrics.Ctx{})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodHybrid.String() != "hybrid" || MethodBisection.String() != "bisection" || MethodNewton.String() != "newton" {
+		t.Error("method names")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method name empty")
+	}
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import "realroots/internal/mp"
+
+// Ctx bundles a counter sink with the phase it attributes work to. The
+// arithmetic helpers below are the instrumented entry points used in the
+// algorithm's hot paths; they record the operation before performing it
+// with internal/mp. A zero Ctx (nil Counters) performs the arithmetic
+// without recording.
+type Ctx struct {
+	C     *Counters
+	Phase Phase
+}
+
+// In returns a copy of the context attributed to phase p.
+func (c Ctx) In(p Phase) Ctx { return Ctx{C: c.C, Phase: p} }
+
+// Mul returns a new Int holding x*y, recording the multiplication.
+func (c Ctx) Mul(x, y *mp.Int) *mp.Int {
+	c.C.AddMul(c.Phase, x.BitLen(), y.BitLen())
+	return new(mp.Int).Mul(x, y)
+}
+
+// MulInto sets z = x*y, recording the multiplication.
+func (c Ctx) MulInto(z, x, y *mp.Int) *mp.Int {
+	c.C.AddMul(c.Phase, x.BitLen(), y.BitLen())
+	return z.Mul(x, y)
+}
+
+// Sqr returns a new Int holding x², recording it as a multiplication.
+func (c Ctx) Sqr(x *mp.Int) *mp.Int {
+	c.C.AddMul(c.Phase, x.BitLen(), x.BitLen())
+	return new(mp.Int).Sqr(x)
+}
+
+// DivExact returns a new Int holding x/y (exact), recording the division.
+func (c Ctx) DivExact(x, y *mp.Int) *mp.Int {
+	c.C.AddDiv(c.Phase, x.BitLen(), y.BitLen())
+	return new(mp.Int).DivExact(x, y)
+}
+
+// DivExactInto sets z = x/y (exact), recording the division.
+func (c Ctx) DivExactInto(z, x, y *mp.Int) *mp.Int {
+	c.C.AddDiv(c.Phase, x.BitLen(), y.BitLen())
+	return z.DivExact(x, y)
+}
+
+// Add returns a new Int holding x+y, recording the addition.
+func (c Ctx) Add(x, y *mp.Int) *mp.Int {
+	c.C.AddAdd(c.Phase)
+	return new(mp.Int).Add(x, y)
+}
+
+// Sub returns a new Int holding x-y, recording the subtraction.
+func (c Ctx) Sub(x, y *mp.Int) *mp.Int {
+	c.C.AddAdd(c.Phase)
+	return new(mp.Int).Sub(x, y)
+}

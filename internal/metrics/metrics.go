@@ -1,0 +1,201 @@
+// Package metrics provides per-phase instrumentation of the big-integer
+// arithmetic performed by the root-finding algorithm. The paper (§4, §5.1)
+// validates its analysis by tracing the number of multiplications and
+// their bit complexity in each phase; this package is the tracing
+// machinery that regenerates Figures 2 through 7.
+//
+// Counters are updated atomically so that all scheduler workers can share
+// one Counters value.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Phase identifies one of the algorithm's sub-computations. The phases
+// mirror the paper's decomposition: the remainder sequence (§3.1), the
+// tree polynomial products (§3.2), sorting/merging of roots, the
+// pre-interval polynomial evaluations, and the three sub-phases of the
+// hybrid interval solver (double-exponential sieve, bisection, Newton;
+// §2.2, Eq. 38).
+type Phase int
+
+const (
+	PhaseRemainder Phase = iota
+	PhaseTree
+	PhaseSort
+	PhasePreInterval
+	PhaseSieve
+	PhaseBisection
+	PhaseNewton
+	PhaseCharPoly
+	PhaseOther
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"remainder", "tree", "sort", "preinterval", "sieve", "bisection", "newton", "charpoly", "other",
+}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// IntervalPhases lists the three sub-phases of the interval solver.
+var IntervalPhases = []Phase{PhaseSieve, PhaseBisection, PhaseNewton}
+
+// AllPhases lists every phase in order.
+func AllPhases() []Phase {
+	ps := make([]Phase, NumPhases)
+	for i := range ps {
+		ps[i] = Phase(i)
+	}
+	return ps
+}
+
+// Counters accumulates arithmetic operation counts per phase. The zero
+// value is ready to use. A nil *Counters is valid everywhere and records
+// nothing, so instrumentation can be disabled without branching at call
+// sites.
+type Counters struct {
+	mul     [NumPhases]atomic.Int64 // number of multiplications
+	mulBits [NumPhases]atomic.Int64 // Σ bitlen(x)·bitlen(y) over multiplications
+	div     [NumPhases]atomic.Int64 // number of divisions
+	divBits [NumPhases]atomic.Int64 // Σ bitlen(x)·bitlen(y) over divisions
+	add     [NumPhases]atomic.Int64 // number of additions/subtractions
+	evals   [NumPhases]atomic.Int64 // number of full polynomial evaluations
+}
+
+// AddMul records one multiplication of xbits-by-ybits operands in phase p.
+func (c *Counters) AddMul(p Phase, xbits, ybits int) {
+	if c == nil {
+		return
+	}
+	c.mul[p].Add(1)
+	c.mulBits[p].Add(int64(xbits) * int64(ybits))
+}
+
+// AddDiv records one division in phase p.
+func (c *Counters) AddDiv(p Phase, xbits, ybits int) {
+	if c == nil {
+		return
+	}
+	c.div[p].Add(1)
+	c.divBits[p].Add(int64(xbits) * int64(ybits))
+}
+
+// AddAdd records one addition or subtraction in phase p.
+func (c *Counters) AddAdd(p Phase) {
+	if c == nil {
+		return
+	}
+	c.add[p].Add(1)
+}
+
+// AddEval records one complete polynomial evaluation in phase p.
+func (c *Counters) AddEval(p Phase) {
+	if c == nil {
+		return
+	}
+	c.evals[p].Add(1)
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		c.mul[p].Store(0)
+		c.mulBits[p].Store(0)
+		c.div[p].Store(0)
+		c.divBits[p].Store(0)
+		c.add[p].Store(0)
+		c.evals[p].Store(0)
+	}
+}
+
+// PhaseReport is an immutable snapshot of one phase's counters.
+type PhaseReport struct {
+	Muls    int64 // multiplication count
+	MulBits int64 // Σ bitlen·bitlen over multiplications ("bit complexity")
+	Divs    int64
+	DivBits int64
+	Adds    int64
+	Evals   int64
+}
+
+// Report is a snapshot of all phases.
+type Report struct {
+	Phases [NumPhases]PhaseReport
+}
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Report {
+	var r Report
+	if c == nil {
+		return r
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		r.Phases[p] = PhaseReport{
+			Muls:    c.mul[p].Load(),
+			MulBits: c.mulBits[p].Load(),
+			Divs:    c.div[p].Load(),
+			DivBits: c.divBits[p].Load(),
+			Adds:    c.add[p].Load(),
+			Evals:   c.evals[p].Load(),
+		}
+	}
+	return r
+}
+
+// Total returns the sum of all phases' counters.
+func (r Report) Total() PhaseReport {
+	var t PhaseReport
+	for _, p := range r.Phases {
+		t.Muls += p.Muls
+		t.MulBits += p.MulBits
+		t.Divs += p.Divs
+		t.DivBits += p.DivBits
+		t.Adds += p.Adds
+		t.Evals += p.Evals
+	}
+	return t
+}
+
+// Sum returns the combined counters of the given phases.
+func (r Report) Sum(phases ...Phase) PhaseReport {
+	var t PhaseReport
+	for _, p := range phases {
+		pr := r.Phases[p]
+		t.Muls += pr.Muls
+		t.MulBits += pr.MulBits
+		t.Divs += pr.Divs
+		t.DivBits += pr.DivBits
+		t.Adds += pr.Adds
+		t.Evals += pr.Evals
+	}
+	return t
+}
+
+// Sub returns the per-phase difference r - old (for interval snapshots).
+func (r Report) Sub(old Report) Report {
+	var d Report
+	for p := Phase(0); p < NumPhases; p++ {
+		a, b := r.Phases[p], old.Phases[p]
+		d.Phases[p] = PhaseReport{
+			Muls:    a.Muls - b.Muls,
+			MulBits: a.MulBits - b.MulBits,
+			Divs:    a.Divs - b.Divs,
+			DivBits: a.DivBits - b.DivBits,
+			Adds:    a.Adds - b.Adds,
+			Evals:   a.Evals - b.Evals,
+		}
+	}
+	return d
+}

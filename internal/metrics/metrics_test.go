@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"realroots/internal/mp"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseTree, 10, 20)
+	c.AddMul(PhaseTree, 5, 5)
+	c.AddDiv(PhaseRemainder, 8, 4)
+	c.AddAdd(PhaseSort)
+	c.AddEval(PhaseNewton)
+	rep := c.Snapshot()
+	if rep.Phases[PhaseTree].Muls != 2 || rep.Phases[PhaseTree].MulBits != 225 {
+		t.Errorf("tree: %+v", rep.Phases[PhaseTree])
+	}
+	if rep.Phases[PhaseRemainder].Divs != 1 || rep.Phases[PhaseRemainder].DivBits != 32 {
+		t.Errorf("remainder: %+v", rep.Phases[PhaseRemainder])
+	}
+	if rep.Phases[PhaseSort].Adds != 1 || rep.Phases[PhaseNewton].Evals != 1 {
+		t.Error("adds/evals not recorded")
+	}
+}
+
+func TestNilCountersSafe(t *testing.T) {
+	var c *Counters
+	c.AddMul(PhaseTree, 1, 1)
+	c.AddDiv(PhaseTree, 1, 1)
+	c.AddAdd(PhaseTree)
+	c.AddEval(PhaseTree)
+	c.Reset()
+	rep := c.Snapshot()
+	if rep.Total().Muls != 0 {
+		t.Error("nil counters recorded something")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseSieve, 3, 3)
+	c.Reset()
+	if c.Snapshot().Total().Muls != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTotalAndSum(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseSieve, 2, 2)
+	c.AddMul(PhaseBisection, 3, 3)
+	c.AddMul(PhaseNewton, 4, 4)
+	rep := c.Snapshot()
+	if rep.Total().Muls != 3 {
+		t.Errorf("total = %d", rep.Total().Muls)
+	}
+	s := rep.Sum(IntervalPhases...)
+	if s.Muls != 3 || s.MulBits != 4+9+16 {
+		t.Errorf("sum = %+v", s)
+	}
+	if rep.Sum(PhaseTree).Muls != 0 {
+		t.Error("empty phase non-zero")
+	}
+}
+
+func TestSub(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseTree, 2, 2)
+	before := c.Snapshot()
+	c.AddMul(PhaseTree, 5, 5)
+	diff := c.Snapshot().Sub(before)
+	if diff.Phases[PhaseTree].Muls != 1 || diff.Phases[PhaseTree].MulBits != 25 {
+		t.Errorf("diff = %+v", diff.Phases[PhaseTree])
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseRemainder.String() != "remainder" || PhaseNewton.String() != "newton" {
+		t.Error("phase names")
+	}
+	if Phase(99).String() == "" {
+		t.Error("out-of-range phase name empty")
+	}
+	if len(AllPhases()) != int(NumPhases) {
+		t.Error("AllPhases length")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddMul(PhaseTree, 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Phases[PhaseTree].Muls; got != 8000 {
+		t.Errorf("concurrent count = %d", got)
+	}
+}
+
+func TestCtxArithmetic(t *testing.T) {
+	var c Counters
+	ctx := Ctx{C: &c, Phase: PhaseRemainder}
+	z := ctx.Mul(mp.NewInt(6), mp.NewInt(7))
+	if z.Int64() != 42 {
+		t.Errorf("Mul = %s", z)
+	}
+	if ctx.Sqr(mp.NewInt(-5)).Int64() != 25 {
+		t.Error("Sqr")
+	}
+	if ctx.Add(mp.NewInt(1), mp.NewInt(2)).Int64() != 3 {
+		t.Error("Add")
+	}
+	if ctx.Sub(mp.NewInt(1), mp.NewInt(2)).Int64() != -1 {
+		t.Error("Sub")
+	}
+	if ctx.DivExact(mp.NewInt(42), mp.NewInt(6)).Int64() != 7 {
+		t.Error("DivExact")
+	}
+	var dst mp.Int
+	if ctx.MulInto(&dst, mp.NewInt(3), mp.NewInt(3)).Int64() != 9 {
+		t.Error("MulInto")
+	}
+	if ctx.DivExactInto(&dst, mp.NewInt(9), mp.NewInt(3)).Int64() != 3 {
+		t.Error("DivExactInto")
+	}
+	rep := c.Snapshot()
+	if rep.Phases[PhaseRemainder].Muls != 3 || rep.Phases[PhaseRemainder].Divs != 2 || rep.Phases[PhaseRemainder].Adds != 2 {
+		t.Errorf("ctx counts: %+v", rep.Phases[PhaseRemainder])
+	}
+	// In is a phase-switched copy.
+	ctx2 := ctx.In(PhaseTree)
+	ctx2.Mul(mp.NewInt(2), mp.NewInt(2))
+	if c.Snapshot().Phases[PhaseTree].Muls != 1 {
+		t.Error("In did not switch phase")
+	}
+}
+
+func TestZeroCtxWorks(t *testing.T) {
+	var ctx Ctx
+	if ctx.Mul(mp.NewInt(2), mp.NewInt(3)).Int64() != 6 {
+		t.Error("zero ctx Mul")
+	}
+}

@@ -1,0 +1,368 @@
+// Package model implements the paper's analytical cost model (§4): for
+// each phase of the algorithm it predicts the number of big-integer
+// multiplications and their bit complexity, as a function of the degree
+// n, the coefficient size m, and the output precision µ. These
+// predictions are the "predicted" series in Figures 2 through 7; the
+// "observed" series come from internal/metrics instrumentation.
+//
+// Two levels of fidelity are provided, mirroring the paper's §5.1
+// methodology ("the analytical estimates we used were much more precise
+// versions of the asymptotic expressions presented in Section 4"):
+//
+//   - Multiplication counts are exact structural counts obtained by
+//     replaying the algorithm's control flow with symbolic degrees (no
+//     bignum arithmetic), so they can match the observed counts closely.
+//     Only the interval phases involve data-dependent iteration counts,
+//     for which the paper's average-case estimate I_avg (Eq. 41) is
+//     used.
+//
+//   - Bit complexities weight each multiplication with the Collins
+//     coefficient-size bounds (β = 2m + 3·log n + 2; Eqs. 25-31). These
+//     are upper bounds, and reproduce the paper's observation (Fig. 7)
+//     that the bit-complexity predictions are weak upper bounds even
+//     when the counts fit well.
+package model
+
+import (
+	"math"
+
+	"realroots/internal/metrics"
+	"realroots/internal/tree"
+)
+
+// Params describes one problem instance.
+type Params struct {
+	N  int  // degree
+	M  int  // coefficient size in bits (the paper's m)
+	Mu uint // output precision
+	R  int  // root-bound bits: all roots in (-2^R, 2^R); typically ≤ M+1
+	// Range optionally gives the bits of the actual root spread (e.g.
+	// ⌈log₂ 2n⌉ for the eigenvalues of a symmetric 0-1 matrix). The
+	// Cauchy bound R can exceed it by an order of magnitude, and the
+	// number of bisection/Newton rounds tracks the true spread because
+	// the sieve collapses the slack in O(log log) probes. Zero means
+	// "use R".
+	Range int
+}
+
+func (p Params) rangeBits() float64 {
+	if p.Range > 0 {
+		return float64(p.Range)
+	}
+	return float64(p.R)
+}
+
+// Beta returns β = 2m + 3·log₂n + 2 (the paper's coefficient-growth
+// unit, Eq. 25).
+func (p Params) Beta() float64 {
+	return 2*float64(p.M) + 3*math.Log2(float64(p.N)) + 2
+}
+
+// X returns the paper's evaluation-point size bound X = R + µ (§4.3).
+func (p Params) X() float64 { return float64(p.R) + float64(p.Mu) }
+
+// A Prediction holds the modelled cost of one phase.
+type Prediction struct {
+	Muls  float64 // number of multiplications
+	Bits  float64 // Σ bitlen·bitlen over those multiplications
+	Evals float64 // polynomial evaluations (interval phases only)
+}
+
+// Report maps each phase to its prediction.
+type Report map[metrics.Phase]Prediction
+
+// Total returns the sum over all phases.
+func (r Report) Total() Prediction {
+	var t Prediction
+	for _, p := range r {
+		t.Muls += p.Muls
+		t.Bits += p.Bits
+		t.Evals += p.Evals
+	}
+	return t
+}
+
+// Predict computes the full per-phase cost model.
+func (p Params) Predict() Report {
+	return Report{
+		metrics.PhaseRemainder:   p.Remainder(),
+		metrics.PhaseTree:        p.Tree(),
+		metrics.PhasePreInterval: p.PreInterval(),
+		metrics.PhaseSieve:       p.IntervalPhase(metrics.PhaseSieve),
+		metrics.PhaseBisection:   p.IntervalPhase(metrics.PhaseBisection),
+		metrics.PhaseNewton:      p.IntervalPhase(metrics.PhaseNewton),
+	}
+}
+
+// fBits returns the bound on ||F_i|| in bits: i·β (Eq. 25), with
+// ||F_0|| = m.
+func (p Params) fBits(i int) float64 {
+	if i == 0 {
+		return float64(p.M)
+	}
+	return float64(i) * p.Beta()
+}
+
+// qBits returns the bound on ||Q_i||: 2i·β (Eq. 26).
+func (p Params) qBits(i int) float64 { return 2 * float64(i) * p.Beta() }
+
+// Remainder predicts the remainder-sequence phase. The implementation's
+// iteration i (1 ≤ i ≤ n-1) performs:
+//
+//	1 mul  for q_{i,1} = c_{i-1}·c_i
+//	2 muls for q_{i,0}
+//	1 mul  for c_i²
+//	3(n-i)-1 muls for the coefficient recurrence (the j = 0 term has no
+//	              q_{i,1} product)
+//
+// matching §3.1's 3(n-i) count up to the constant per-iteration setup.
+func (p Params) Remainder() Prediction {
+	var muls, bits float64
+	for i := 1; i < p.N; i++ {
+		fi := p.fBits(i)
+		fi1 := p.fBits(i - 1)
+		qi := p.qBits(i)
+		nmi := float64(p.N - i)
+		// 3(n-i)-1 recurrence products (the j = 0 term has no q_{i,1}
+		// factor), plus q_{i,1}, two q_{i,0} terms, c_i², and — for
+		// i ≥ 2 — the divisor c_{i-1}².
+		muls += 3*nmi - 1 + 4
+		if i >= 2 {
+			muls++
+		}
+		// Setup products: q_{i,1}, the two q_{i,0} terms, and c_i².
+		bits += fi1*fi + 2*fi*fi1 + fi*fi
+		// Recurrence products per j: f_i·q_0, f_{i,j-1}·q_1, c_i²·f_{i-1}
+		// (the paper's 2||F_i||·||Q_i|| + 2||F_i||·||F_{i-1}|| per term).
+		bits += nmi * (2*fi*qi + 2*fi*fi1)
+	}
+	return Prediction{Muls: muls, Bits: bits}
+}
+
+// entryDeg returns the degrees of the four entries of T_{a,b}
+// (Appendix A Eq. 54): [[-P_{a+1,b-1}, P_{a,b-1}], [-P_{a+1,b}, P_{a,b}]],
+// with deg P_{x,y} = y-x+1 and P = 1 (degree 0) when x > y.
+func entryDeg(a, b int) [2][2]int {
+	d := func(x, y int) int {
+		if x > y {
+			return 0
+		}
+		return y - x + 1
+	}
+	return [2][2]int{
+		{d(a+1, b-1), d(a, b-1)},
+		{d(a+1, b), d(a, b)},
+	}
+}
+
+// tBits returns the coefficient-size bound for T_{a,b}: (a+b)·β
+// (Eq. 31 with i = a, k = b-a+1 gives (2i+k-1)β = (a+b)β).
+func (p Params) tBits(a, b int) float64 { return float64(a+b) * p.Beta() }
+
+// sHatEntry describes Ŝ_k = [[0, c_{k-1}²], [-c_k², Q_k]]: degrees and
+// sizes of the non-zero entries.
+func (p Params) sHatSizes(k int) (degs [2][2]int, bits [2][2]float64, zero [2][2]bool) {
+	degs = [2][2]int{{0, 0}, {0, 1}}
+	bits = [2][2]float64{
+		{0, 2 * p.fBits(k-1)},
+		{2 * p.fBits(k), p.qBits(k)},
+	}
+	zero[0][0] = true
+	return
+}
+
+// mulCost accumulates the schoolbook cost of multiplying two
+// polynomial-matrix entries with the given degrees and coefficient
+// sizes: (d1+1)(d2+1) coefficient multiplications of b1×b2 bits.
+func mulCost(d1, d2 int, b1, b2 float64) (muls, bits float64) {
+	n := float64((d1 + 1) * (d2 + 1))
+	return n, n * b1 * b2
+}
+
+// Tree predicts the tree-polynomial phase by replaying the tree
+// structure: for every non-rightmost internal node [i,j] with split k,
+// the products Ŝ_k·T_{i,k-1} and T_{k+1,j}·(Ŝ_k·T_{i,k-1}) are costed
+// entry by entry, skipping the structurally-zero entry of Ŝ_k, exactly
+// as the implementation does.
+func (p Params) Tree() Prediction {
+	var muls, bits float64
+	root := tree.Build(p.N)
+	root.Walk(func(nd *tree.Node) {
+		if nd.J == p.N || nd.IsLeaf() {
+			return
+		}
+		i, j, k := nd.I, nd.J, nd.K
+
+		// M1 = Ŝ_k · T_{i,k-1}.
+		sDeg, sBits, sZero := p.sHatSizes(k)
+		tlDeg := entryDeg(i, k-1)
+		tlB := p.tBits(i, k-1)
+		// A leaf T-matrix is Ŝ itself, whose (0,0) entry is the zero
+		// polynomial (Eq. 54 does not apply at j = i); the implementation
+		// performs no multiplications against it.
+		var tlZero, trZero [2][2]bool
+		if nd.Left.IsLeaf() {
+			tlZero[0][0] = true
+		}
+		if nd.Right != nil && nd.Right.IsLeaf() {
+			trZero[0][0] = true
+		}
+		// Resulting M1 entry degrees (for the second product): the
+		// matrix product of Ŝ_k and T_{i,k-1} is c_{k-1}²·T_{i,k} — wait:
+		// Ŝ_k·T_{i,k-1} = c_{k-1}²·S_k·c_{i-1}²·S_{k-1}…S_i = c_{k-1}²/c_{i-1}²·…
+		// Structurally it equals T_{i,k} scaled, so its entry degrees are
+		// those of T_{i,k}.
+		m1Deg := entryDeg(i, k)
+		m1B := p.tBits(i, k) // size bound after the product (pre-division)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				for m := 0; m < 2; m++ {
+					if sZero[r][m] || tlZero[m][c] {
+						continue
+					}
+					mu, bi := mulCost(sDeg[r][m], tlDeg[m][c], sBits[r][m], tlB)
+					muls += mu
+					bits += bi
+				}
+			}
+		}
+
+		if nd.Right == nil {
+			return
+		}
+		// M2 = T_{k+1,j} · M1.
+		trDeg := entryDeg(k+1, j)
+		trB := p.tBits(k+1, j)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				for m := 0; m < 2; m++ {
+					if trZero[r][m] {
+						continue
+					}
+					mu, bi := mulCost(trDeg[r][m], m1Deg[m][c], trB, m1B)
+					muls += mu
+					bits += bi
+				}
+			}
+		}
+	})
+	return Prediction{Muls: muls, Bits: bits}
+}
+
+// pBits returns the coefficient-size bound for the polynomial at node
+// [i,j]: (i+j-1)·β for non-rightmost nodes (Eq. 29), (i-1)·β for
+// rightmost ones (Eq. 30).
+func (p Params) pBits(i, j int) float64 {
+	if j == p.N {
+		return math.Max(p.fBits(i-1), 1)
+	}
+	return float64(i+j-1) * p.Beta()
+}
+
+// evalCost returns the cost of one scaled Horner evaluation of a
+// degree-d polynomial with mBits coefficients at an X-bit point
+// (Eq. 37): d multiplications, mXd + X²d²/2 bit cost.
+func (p Params) evalCost(d int, mBits float64) (muls, bits float64) {
+	x := p.X()
+	return float64(d), mBits*x*float64(d) + x*x*float64(d)*float64(d)/2
+}
+
+// PreInterval predicts the pre-interval phase: each node of degree d
+// evaluates its polynomial at d+1 interleaving points, and the case
+// analysis of §2.2 probes one more point (ỹ_{i+1} - 2^-µ) per interval
+// in the generic case 2c, for 2d+1 evaluations per node.
+func (p Params) PreInterval() Prediction {
+	var muls, bits float64
+	root := tree.Build(p.N)
+	root.Walk(func(nd *tree.Node) {
+		d := nd.Size()
+		mBits := p.pBits(nd.I, nd.J)
+		em, eb := p.evalCost(d, mBits)
+		n := float64(2*d + 1)
+		muls += n * em
+		bits += n * eb
+	})
+	return Prediction{Muls: muls, Bits: bits, Evals: evalTotal(p.N, func(d int) float64 { return float64(2*d + 1) })}
+}
+
+// Calibration constants for the interval-phase iteration counts. The
+// sieve's average iteration count is a small constant (the paper:
+// "the double-exponential sieve takes only a constant number of
+// iterations" under a uniform-root assumption); Newton performs two
+// evaluations (P and P′) per iteration plus one finishing sign test.
+const (
+	SieveAvgEvals      = 7.0
+	NewtonEvalsPerIter = 2.0
+	// NewtonFinishEvals covers the two verification probes plus the grid
+	// decision when the Newton iteration actually runs; when the bracket
+	// is already at grid width only the single finishing test remains.
+	NewtonFinishEvals = 3.0
+	NewtonSkipEvals   = 1.0
+)
+
+// intervalEvalsPerProblem returns the modelled number of evaluations
+// for one interval problem of a degree-d polynomial, split by phase
+// (Eq. 38 terms; average-case Eq. 41 for sieve and Newton). The
+// bisection and Newton counts are capped by the number of bits between
+// the typical isolating-interval width (≈ root range / d) and the 2^-µ
+// grid, which is what the implementation's early-exit does.
+func (p Params) intervalEvalsPerProblem(d int, phase metrics.Phase) float64 {
+	if d < 1 {
+		return 0
+	}
+	logTenD2 := math.Log2(10 * float64(d) * float64(d))
+	// Bits from the typical initial bracket width (root spread / d) down
+	// to the 2^-µ grid.
+	avail := math.Max(0, p.rangeBits()+1-math.Log2(float64(d))+float64(p.Mu))
+	bisect := math.Min(math.Ceil(logTenD2), avail)
+	switch phase {
+	case metrics.PhaseSieve:
+		return SieveAvgEvals
+	case metrics.PhaseBisection:
+		return bisect
+	case metrics.PhaseNewton:
+		// The sieve localizes the root, absorbing the R bits of slack in
+		// the Cauchy bound, and bisection contributes ≈ log(10d²) bits;
+		// Newton's remaining work is the gap to the µ output bits,
+		// closed at one doubling per iteration (Eq. 41's second term
+		// with the sieve-localized X = µ).
+		if float64(p.Mu) <= logTenD2 || avail <= bisect {
+			return NewtonSkipEvals
+		}
+		iters := math.Log2(math.Max(2, float64(p.Mu)/logTenD2))
+		return NewtonEvalsPerIter*iters + NewtonFinishEvals
+	}
+	return 0
+}
+
+// evalTotal sums f(degree) over every node of the tree.
+func evalTotal(n int, f func(d int) float64) float64 {
+	var total float64
+	tree.Build(n).Walk(func(nd *tree.Node) { total += f(nd.Size()) })
+	return total
+}
+
+// IntervalPhase predicts one of the three interval sub-phases across
+// the whole tree: each node of degree d solves d interval problems on
+// a polynomial with the node's size bounds.
+func (p Params) IntervalPhase(phase metrics.Phase) Prediction {
+	var muls, bits, evals float64
+	root := tree.Build(p.N)
+	root.Walk(func(nd *tree.Node) {
+		d := nd.Size()
+		mBits := p.pBits(nd.I, nd.J)
+		perEval, perEvalBits := p.evalCost(d, mBits)
+		e := float64(d) * p.intervalEvalsPerProblem(d, phase)
+		evals += e
+		muls += e * perEval
+		bits += e * perEvalBits
+	})
+	return Prediction{Muls: muls, Bits: bits, Evals: evals}
+}
+
+// WorstCaseIntervalEvals returns the paper's worst-case estimate
+// I(X,d) = ½·log²X + log(10d²) + O(log X) (Eq. 38) for one problem.
+func (p Params) WorstCaseIntervalEvals(d int) float64 {
+	x := p.X()
+	return 0.5*math.Log2(x)*math.Log2(x) + math.Log2(10*float64(d)*float64(d)) + math.Log2(x)
+}

@@ -1,0 +1,197 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"realroots/internal/core"
+	"realroots/internal/metrics"
+	"realroots/internal/workload"
+)
+
+// runObserved executes the real algorithm with counters and returns the
+// per-phase report.
+func runObserved(t *testing.T, n int, mu uint, seed int64) (metrics.Report, Params) {
+	t.Helper()
+	p := workload.CharPoly01(seed, n)
+	var c metrics.Counters
+	if _, err := core.FindRoots(p, core.Options{Mu: mu, Counters: &c}); err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	bound := p.RootBound()
+	params := Params{
+		N: n, M: p.MaxCoeffBits(), Mu: mu, R: bound.BitLen() - 1,
+		// Eigenvalues of a symmetric 0-1 matrix lie within ±n.
+		Range: int(math.Ceil(math.Log2(float64(2 * n)))),
+	}
+	return c.Snapshot(), params
+}
+
+func TestRemainderMulCountExact(t *testing.T) {
+	for _, n := range []int{5, 9, 14, 20} {
+		rep, params := runObserved(t, n, 8, int64(n))
+		got := float64(rep.Phases[metrics.PhaseRemainder].Muls)
+		want := params.Remainder().Muls
+		if got != want {
+			t.Errorf("n=%d: observed %v remainder muls, model %v", n, got, want)
+		}
+	}
+}
+
+func TestTreeMulCountClose(t *testing.T) {
+	// Tree counts are exact up to zero coefficients in the T-matrix
+	// entries, which are rare for generic inputs; require ≤ 5% gap with
+	// the model as the upper side.
+	for _, n := range []int{8, 12, 17, 24} {
+		rep, params := runObserved(t, n, 8, int64(100+n))
+		got := float64(rep.Phases[metrics.PhaseTree].Muls)
+		want := params.Tree().Muls
+		if got > want {
+			t.Errorf("n=%d: observed %v tree muls exceeds model %v", n, got, want)
+		}
+		if got < 0.95*want {
+			t.Errorf("n=%d: observed %v tree muls, model %v (gap > 5%%)", n, got, want)
+		}
+	}
+}
+
+func TestPreIntervalEvalsClose(t *testing.T) {
+	for _, n := range []int{8, 14, 20} {
+		rep, params := runObserved(t, n, 16, int64(200+n))
+		got := float64(rep.Phases[metrics.PhasePreInterval].Evals)
+		want := params.PreInterval().Evals
+		if got < 0.5*want || got > 1.2*want {
+			t.Errorf("n=%d: observed %v preinterval evals, model %v", n, got, want)
+		}
+	}
+}
+
+func TestIntervalPhaseEvalsReasonable(t *testing.T) {
+	// The refinement-phase eval model should be within a factor of ~2 of
+	// observation on the paper's workload (the paper's own Figures 2-6
+	// show this level of fit).
+	for _, n := range []int{10, 16, 22} {
+		for _, mu := range []uint{8, 32} {
+			rep, params := runObserved(t, n, mu, int64(300+n))
+			for _, ph := range metrics.IntervalPhases {
+				got := float64(rep.Phases[ph].Evals)
+				want := params.IntervalPhase(ph).Evals
+				if got == 0 && want == 0 {
+					continue
+				}
+				lo, hi := want/2.5, want*2.5
+				if got < lo || got > hi {
+					t.Errorf("n=%d µ=%d %v: observed %v evals, model %v", n, mu, ph, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBitModelIsUpperBound(t *testing.T) {
+	// The Collins-bound bit complexities must upper-bound observation
+	// (the paper's Fig. 7 point: the fit is weak but one-sided).
+	for _, n := range []int{10, 16, 22} {
+		rep, params := runObserved(t, n, 32, int64(400+n))
+		pred := params.Predict()
+		for _, ph := range []metrics.Phase{metrics.PhaseRemainder, metrics.PhaseTree} {
+			got := float64(rep.Phases[ph].MulBits)
+			want := pred[ph].Bits
+			if got > want {
+				t.Errorf("n=%d %v: observed bit cost %v exceeds model bound %v", n, ph, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictionsGrowWithN(t *testing.T) {
+	prev := Prediction{}
+	for _, n := range []int{8, 16, 32, 64} {
+		p := Params{N: n, M: 10, Mu: 16, R: 11}
+		tot := p.Predict().Total()
+		if tot.Muls <= prev.Muls || tot.Bits <= prev.Bits {
+			t.Fatalf("n=%d: totals did not grow: %+v vs %+v", n, tot, prev)
+		}
+		prev = tot
+	}
+}
+
+func TestPredictionsGrowWithMu(t *testing.T) {
+	prev := 0.0
+	for _, mu := range []uint{4, 8, 16, 32, 64} {
+		p := Params{N: 20, M: 8, Mu: mu, R: 9}
+		tot := p.Predict().Total()
+		if tot.Muls <= prev {
+			t.Fatalf("µ=%d: muls did not grow: %v vs %v", mu, tot.Muls, prev)
+		}
+		prev = tot.Muls
+	}
+}
+
+func TestAsymptoticExponents(t *testing.T) {
+	// Table 1: remainder and tree phases are Θ(n²) multiplications and
+	// Θ(n⁴·(m+log n)²) bit operations. Fit the exponent over a dyadic
+	// n-range and require it within ±0.35 of the nominal value.
+	fit := func(f func(n int) float64) float64 {
+		n1, n2 := 32, 128
+		return math.Log2(f(n2)/f(n1)) / math.Log2(float64(n2)/float64(n1))
+	}
+	mulExp := fit(func(n int) float64 {
+		return Params{N: n, M: 10, Mu: 16, R: 11}.Remainder().Muls
+	})
+	if math.Abs(mulExp-2) > 0.35 {
+		t.Errorf("remainder mul exponent %.2f, want ≈ 2", mulExp)
+	}
+	treeExp := fit(func(n int) float64 {
+		return Params{N: n, M: 10, Mu: 16, R: 11}.Tree().Muls
+	})
+	if math.Abs(treeExp-2) > 0.35 {
+		t.Errorf("tree mul exponent %.2f, want ≈ 2", treeExp)
+	}
+	bitExp := fit(func(n int) float64 {
+		return Params{N: n, M: 10, Mu: 16, R: 11}.Tree().Bits
+	})
+	if math.Abs(bitExp-4) > 0.6 {
+		t.Errorf("tree bit exponent %.2f, want ≈ 4", bitExp)
+	}
+	remBitExp := fit(func(n int) float64 {
+		return Params{N: n, M: 10, Mu: 16, R: 11}.Remainder().Bits
+	})
+	if math.Abs(remBitExp-4) > 0.6 {
+		t.Errorf("remainder bit exponent %.2f, want ≈ 4", remBitExp)
+	}
+}
+
+func TestBeta(t *testing.T) {
+	p := Params{N: 16, M: 10}
+	want := 2.0*10 + 3.0*4 + 2
+	if got := p.Beta(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Beta = %v, want %v", got, want)
+	}
+}
+
+func TestWorstCaseExceedsAverage(t *testing.T) {
+	p := Params{N: 30, M: 12, Mu: 32, R: 13}
+	for _, d := range []int{2, 5, 15, 30} {
+		worst := p.WorstCaseIntervalEvals(d)
+		avg := p.intervalEvalsPerProblem(d, metrics.PhaseSieve) +
+			p.intervalEvalsPerProblem(d, metrics.PhaseBisection) +
+			p.intervalEvalsPerProblem(d, metrics.PhaseNewton)
+		if worst < avg*0.8 {
+			t.Errorf("d=%d: worst case %v below average %v", d, worst, avg)
+		}
+	}
+}
+
+func TestReportTotal(t *testing.T) {
+	p := Params{N: 12, M: 6, Mu: 8, R: 7}
+	rep := p.Predict()
+	tot := rep.Total()
+	var sum float64
+	for _, pr := range rep {
+		sum += pr.Muls
+	}
+	if tot.Muls != sum {
+		t.Errorf("Total.Muls %v != sum %v", tot.Muls, sum)
+	}
+}

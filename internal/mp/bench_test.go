@@ -1,0 +1,66 @@
+package mp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchOperands(bits int) (*Int, *Int) {
+	r := rand.New(rand.NewSource(int64(bits)))
+	return RandNonNeg(r, bits), RandNonNeg(r, bits)
+}
+
+func BenchmarkMulSchoolbook(b *testing.B) {
+	for _, bits := range []int{64, 256, 1024, 4096, 16384} {
+		x, y := benchOperands(bits)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var z Int
+			for i := 0; i < b.N; i++ {
+				z.Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMulKaratsuba(b *testing.B) {
+	for _, bits := range []int{1024, 4096, 16384} {
+		x, y := benchOperands(bits)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			UseKaratsuba = true
+			defer func() { UseKaratsuba = false }()
+			var z Int
+			for i := 0; i < b.N; i++ {
+				z.Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkDiv(b *testing.B) {
+	for _, bits := range []int{256, 1024, 4096} {
+		x, _ := benchOperands(2 * bits)
+		y, _ := benchOperands(bits)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var q, r Int
+			for i := 0; i < b.N; i++ {
+				q.QuoRem(x, y, &r)
+			}
+		})
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := benchOperands(4096)
+	var z Int
+	for i := 0; i < b.N; i++ {
+		z.Add(x, y)
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	x, _ := benchOperands(1024)
+	for i := 0; i < b.N; i++ {
+		_ = x.String()
+	}
+}

@@ -1,0 +1,81 @@
+package mp
+
+import (
+	"math/big"
+	"testing"
+)
+
+func FuzzSetStringRoundTrip(f *testing.F) {
+	f.Add("0")
+	f.Add("-12345678901234567890123456789")
+	f.Add("+999999999999999999")
+	f.Add("007")
+	f.Fuzz(func(t *testing.T, s string) {
+		z, err := new(Int).SetString(s)
+		if err != nil {
+			return // malformed input is fine
+		}
+		// The oracle must agree, and re-parsing the rendering must be
+		// idempotent.
+		b, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			t.Fatalf("we parsed %q but math/big did not", s)
+		}
+		if z.ToBig().Cmp(b) != 0 {
+			t.Fatalf("parse mismatch for %q: %s vs %s", s, z, b)
+		}
+		z2, err := new(Int).SetString(z.String())
+		if err != nil || z2.Cmp(z) != 0 {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}
+
+func FuzzQuoRemIdentity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 6})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, []byte{0xff, 0xff, 0xff, 0xff, 0x80})
+	f.Fuzz(func(t *testing.T, xb, yb []byte) {
+		if len(xb) > 64 || len(yb) > 64 {
+			return
+		}
+		x := new(Int).SetBig(new(big.Int).SetBytes(xb))
+		y := new(Int).SetBig(new(big.Int).SetBytes(yb))
+		if y.IsZero() {
+			return
+		}
+		q, r := new(Int).QuoRem(x, y, new(Int))
+		back := new(Int).Mul(q, y)
+		back.Add(back, r)
+		if back.Cmp(x) != 0 {
+			t.Fatalf("q*y+r != x for x=%s y=%s", x, y)
+		}
+		if r.CmpAbs(y) >= 0 {
+			t.Fatalf("|r| >= |y| for x=%s y=%s", x, y)
+		}
+		bq, br := new(big.Int).QuoRem(x.ToBig(), y.ToBig(), new(big.Int))
+		if q.ToBig().Cmp(bq) != 0 || r.ToBig().Cmp(br) != 0 {
+			t.Fatalf("oracle mismatch for x=%s y=%s", x, y)
+		}
+	})
+}
+
+func FuzzAddSubInverse(f *testing.F) {
+	f.Add([]byte{1}, []byte{2}, false, true)
+	f.Fuzz(func(t *testing.T, xb, yb []byte, xneg, yneg bool) {
+		if len(xb) > 64 || len(yb) > 64 {
+			return
+		}
+		x := new(Int).SetBig(new(big.Int).SetBytes(xb))
+		y := new(Int).SetBig(new(big.Int).SetBytes(yb))
+		if xneg {
+			x.Neg(x)
+		}
+		if yneg {
+			y.Neg(y)
+		}
+		s := new(Int).Add(x, y)
+		if new(Int).Sub(s, y).Cmp(x) != 0 {
+			t.Fatalf("(x+y)-y != x for x=%s y=%s", x, y)
+		}
+	})
+}

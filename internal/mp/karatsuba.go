@@ -1,0 +1,65 @@
+package mp
+
+// Karatsuba multiplication. The paper's arithmetic substrate (UNIX "mp")
+// used only schoolbook multiplication, and the paper's analysis assumes
+// quadratic multiplication cost, so Karatsuba is NOT used by default
+// anywhere in this repository. It exists for the ablation benchmark
+// (DESIGN.md, experiment abl2) that asks how much of the measured running
+// time is an artifact of the quadratic substrate.
+
+// karatsubaThreshold is the limb count below which multiplication falls
+// back to the schoolbook method. 24 limbs ≈ 768 bits.
+const karatsubaThreshold = 24
+
+// natMulKaratsuba returns x*y using Karatsuba's O(n^1.585) recursion.
+func natMulKaratsuba(x, y nat) nat {
+	if len(x) < karatsubaThreshold || len(y) < karatsubaThreshold {
+		return natMulBasic(x, y)
+	}
+	m := len(x)
+	if len(y) < m {
+		m = len(y)
+	}
+	m /= 2
+
+	x0 := nat(x[:m]).norm()
+	x1 := nat(x[m:]).norm()
+	y0 := nat(y[:m]).norm()
+	y1 := nat(y[m:]).norm()
+
+	z0 := natMulKaratsuba(x0, y0)
+	z2 := natMulKaratsuba(x1, y1)
+
+	// z1 = (x0+x1)(y0+y1) - z0 - z2 = x0*y1 + x1*y0.
+	z1 := natMulKaratsuba(natAdd(x0, x1), natAdd(y0, y1))
+	z1 = natSub(z1, z0)
+	z1 = natSub(z1, z2)
+
+	// result = z0 + z1<<(32m) + z2<<(64m).
+	res := natAddAt(z0, z1, m)
+	res = natAddAt(res, z2, 2*m)
+	return res
+}
+
+// natAddAt returns x + y·2^(32·shift).
+func natAddAt(x, y nat, shift int) nat {
+	if len(y) == 0 {
+		return x
+	}
+	n := len(y) + shift
+	if len(x) > n {
+		n = len(x)
+	}
+	z := make(nat, n+1)
+	copy(z, x)
+	var carry uint64
+	for i := 0; i < len(y) || carry != 0; i++ {
+		s := uint64(z[i+shift]) + carry
+		if i < len(y) {
+			s += uint64(y[i])
+		}
+		z[i+shift] = uint32(s)
+		carry = s >> limbBits
+	}
+	return z.norm()
+}

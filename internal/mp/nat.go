@@ -1,0 +1,281 @@
+// Package mp implements arbitrary-precision integer arithmetic from
+// scratch, mirroring the UNIX "mp" package used by Narendran & Tiwari's
+// original implementation (paper §3.3): addition and subtraction run in
+// linear time and multiplication and division in quadratic time in the
+// operand sizes. This matches the cost model that the paper's analysis
+// (§4) assumes, which is why the library does not use math/big in the
+// production path (math/big is used only as a test oracle).
+//
+// An optional Karatsuba multiplication is provided for the repository's
+// ablation benchmarks; it is off by default.
+package mp
+
+import "math/bits"
+
+// A nat is an unsigned multiprecision integer stored as a little-endian
+// slice of 32-bit limbs: x = Σ x[i]·2^(32i). The canonical form has no
+// leading (high-order) zero limbs; the canonical zero is the empty slice.
+type nat []uint32
+
+const (
+	limbBits = 32
+	limbBase = uint64(1) << limbBits
+	limbMask = limbBase - 1
+)
+
+// norm returns x with high-order zero limbs removed.
+func (x nat) norm() nat {
+	i := len(x)
+	for i > 0 && x[i-1] == 0 {
+		i--
+	}
+	return x[:i]
+}
+
+// natCmp compares |x| and |y|, returning -1, 0, or +1.
+func natCmp(x, y nat) int {
+	switch {
+	case len(x) < len(y):
+		return -1
+	case len(x) > len(y):
+		return 1
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		switch {
+		case x[i] < y[i]:
+			return -1
+		case x[i] > y[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// natAdd returns x + y.
+func natAdd(x, y nat) nat {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	z := make(nat, len(x)+1)
+	var carry uint64
+	for i := range x {
+		s := uint64(x[i]) + carry
+		if i < len(y) {
+			s += uint64(y[i])
+		}
+		z[i] = uint32(s)
+		carry = s >> limbBits
+	}
+	z[len(x)] = uint32(carry)
+	return z.norm()
+}
+
+// natSub returns x - y; it requires x >= y.
+func natSub(x, y nat) nat {
+	if natCmp(x, y) < 0 {
+		panic("mp: natSub underflow")
+	}
+	z := make(nat, len(x))
+	var borrow uint64
+	for i := range x {
+		d := uint64(x[i]) - borrow
+		if i < len(y) {
+			d -= uint64(y[i])
+		}
+		z[i] = uint32(d)
+		// d underflowed iff its high word is non-zero.
+		borrow = d >> 63
+	}
+	if borrow != 0 {
+		panic("mp: natSub borrow out")
+	}
+	return z.norm()
+}
+
+// natMulBasic returns x*y using the schoolbook O(len(x)·len(y)) method.
+func natMulBasic(x, y nat) nat {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	z := make(nat, len(x)+len(y))
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		var carry uint64
+		xv := uint64(xi)
+		for j, yj := range y {
+			t := uint64(z[i+j]) + xv*uint64(yj) + carry
+			z[i+j] = uint32(t)
+			carry = t >> limbBits
+		}
+		z[i+len(y)] = uint32(carry)
+	}
+	return z.norm()
+}
+
+// natShl returns x << s.
+func natShl(x nat, s uint) nat {
+	if len(x) == 0 {
+		return nil
+	}
+	limbShift := int(s / limbBits)
+	bitShift := s % limbBits
+	z := make(nat, len(x)+limbShift+1)
+	if bitShift == 0 {
+		copy(z[limbShift:], x)
+	} else {
+		var carry uint32
+		for i, xi := range x {
+			z[i+limbShift] = xi<<bitShift | carry
+			carry = uint32(uint64(xi) >> (limbBits - bitShift))
+		}
+		z[len(x)+limbShift] = carry
+	}
+	return z.norm()
+}
+
+// natShr returns x >> s.
+func natShr(x nat, s uint) nat {
+	limbShift := int(s / limbBits)
+	bitShift := s % limbBits
+	if limbShift >= len(x) {
+		return nil
+	}
+	z := make(nat, len(x)-limbShift)
+	if bitShift == 0 {
+		copy(z, x[limbShift:])
+	} else {
+		for i := range z {
+			v := uint64(x[i+limbShift]) >> bitShift
+			if i+limbShift+1 < len(x) {
+				v |= uint64(x[i+limbShift+1]) << (limbBits - bitShift)
+			}
+			z[i] = uint32(v)
+		}
+	}
+	return z.norm()
+}
+
+// natBitLen returns the length of x in bits; natBitLen(0) == 0.
+func natBitLen(x nat) int {
+	if len(x) == 0 {
+		return 0
+	}
+	return (len(x)-1)*limbBits + bits.Len32(x[len(x)-1])
+}
+
+// natBit returns bit i of x.
+func natBit(x nat, i uint) uint {
+	limb := int(i / limbBits)
+	if limb >= len(x) {
+		return 0
+	}
+	return uint(x[limb]>>(i%limbBits)) & 1
+}
+
+// natTrailingZeros returns the number of trailing zero bits of x != 0.
+func natTrailingZeros(x nat) uint {
+	for i, xi := range x {
+		if xi != 0 {
+			return uint(i)*limbBits + uint(bits.TrailingZeros32(xi))
+		}
+	}
+	panic("mp: natTrailingZeros of zero")
+}
+
+// natDivSmall divides u by the single limb d, returning quotient and
+// remainder.
+func natDivSmall(u nat, d uint32) (q nat, r uint32) {
+	if d == 0 {
+		panic("mp: division by zero")
+	}
+	q = make(nat, len(u))
+	var rem uint64
+	dd := uint64(d)
+	for i := len(u) - 1; i >= 0; i-- {
+		cur := rem<<limbBits | uint64(u[i])
+		q[i] = uint32(cur / dd)
+		rem = cur % dd
+	}
+	return q.norm(), uint32(rem)
+}
+
+// natDiv returns the quotient and remainder of u / v (v != 0) using
+// Knuth's Algorithm D (TAOCP vol. 2, §4.3.1). Quadratic in the operand
+// sizes, matching the "mp" package the paper's implementation used.
+func natDiv(uIn, vIn nat) (q, r nat) {
+	if len(vIn) == 0 {
+		panic("mp: division by zero")
+	}
+	if natCmp(uIn, vIn) < 0 {
+		return nil, append(nat(nil), uIn...).norm()
+	}
+	if len(vIn) == 1 {
+		q, rr := natDivSmall(uIn, vIn[0])
+		if rr == 0 {
+			return q, nil
+		}
+		return q, nat{rr}
+	}
+
+	// D1: normalize so that the top limb of v has its high bit set.
+	s := uint(bits.LeadingZeros32(vIn[len(vIn)-1]))
+	v := natShl(vIn, s)
+	u := natShl(uIn, s)
+	u = append(u, 0) // ensure an extra high limb for the first step
+	n := len(v)
+	m := len(u) - n - 1
+
+	q = make(nat, m+1)
+	vn1 := uint64(v[n-1])
+	vn2 := uint64(v[n-2])
+
+	for j := m; j >= 0; j-- {
+		// D3: estimate qhat.
+		u2 := uint64(u[j+n])<<limbBits | uint64(u[j+n-1])
+		qhat := u2 / vn1
+		rhat := u2 - qhat*vn1
+		for qhat >= limbBase || qhat*vn2 > rhat<<limbBits+uint64(u[j+n-2]) {
+			qhat--
+			rhat += vn1
+			if rhat >= limbBase {
+				break
+			}
+		}
+
+		// D4: multiply and subtract u[j..j+n] -= qhat*v.
+		var borrow int64
+		var mulCarry uint64
+		for i := 0; i <= n; i++ {
+			var p uint64
+			if i < n {
+				t := qhat*uint64(v[i]) + mulCarry
+				mulCarry = t >> limbBits
+				p = t & limbMask
+			} else {
+				p = mulCarry
+			}
+			t := int64(uint64(u[i+j])) - int64(p) + borrow
+			u[i+j] = uint32(uint64(t) & limbMask)
+			borrow = t >> limbBits // arithmetic shift: 0 or -1
+		}
+
+		// D5/D6: the (rare) add-back correction.
+		if borrow != 0 {
+			qhat--
+			var c uint64
+			for i := 0; i < n; i++ {
+				t := uint64(u[i+j]) + uint64(v[i]) + c
+				u[i+j] = uint32(t)
+				c = t >> limbBits
+			}
+			u[j+n] = uint32(uint64(u[j+n]) + c)
+		}
+		q[j] = uint32(qhat)
+	}
+
+	r = nat(u[:n]).norm()
+	r = natShr(r, s)
+	return q.norm(), r
+}

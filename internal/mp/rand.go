@@ -1,0 +1,29 @@
+package mp
+
+import "math/rand"
+
+// RandInt returns a uniformly random integer with |z| < 2^bits, with a
+// random sign, drawn from r. Used by tests and workload generators.
+func RandInt(r *rand.Rand, bits int) *Int {
+	z := RandNonNeg(r, bits)
+	if r.Intn(2) == 1 {
+		z.Neg(z)
+	}
+	return z
+}
+
+// RandNonNeg returns a uniformly random integer in [0, 2^bits).
+func RandNonNeg(r *rand.Rand, bits int) *Int {
+	if bits <= 0 {
+		return new(Int)
+	}
+	nlimbs := (bits + limbBits - 1) / limbBits
+	abs := make(nat, nlimbs)
+	for i := range abs {
+		abs[i] = r.Uint32()
+	}
+	if top := uint(bits % limbBits); top != 0 {
+		abs[nlimbs-1] &= uint32(uint64(1)<<top - 1)
+	}
+	return &Int{abs: abs.norm()}
+}

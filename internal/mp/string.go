@@ -1,0 +1,87 @@
+package mp
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// String returns the decimal representation of z.
+func (z *Int) String() string {
+	if len(z.abs) == 0 {
+		return "0"
+	}
+	// Peel off 9 decimal digits at a time by dividing by 1e9.
+	const chunk = 1_000_000_000
+	var groups []uint32
+	rest := append(nat(nil), z.abs...)
+	for len(rest) > 0 {
+		var r uint32
+		rest, r = natDivSmall(rest, chunk)
+		groups = append(groups, r)
+	}
+	buf := make([]byte, 0, len(groups)*9+1)
+	if z.neg {
+		buf = append(buf, '-')
+	}
+	buf = strconv.AppendUint(buf, uint64(groups[len(groups)-1]), 10)
+	for i := len(groups) - 2; i >= 0; i-- {
+		buf = append(buf, fmt.Sprintf("%09d", groups[i])...)
+	}
+	return string(buf)
+}
+
+// Format implements fmt.Formatter for the %d, %s and %v verbs.
+func (z *Int) Format(s fmt.State, verb rune) {
+	switch verb {
+	case 'd', 's', 'v':
+		fmt.Fprint(s, z.String())
+	default:
+		fmt.Fprintf(s, "%%!%c(mp.Int=%s)", verb, z.String())
+	}
+}
+
+// SetString sets z to the value of the decimal string str (with optional
+// leading + or -) and returns z, or an error if str is malformed.
+func (z *Int) SetString(str string) (*Int, error) {
+	s := str
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("mp: invalid integer %q", str)
+	}
+	acc := nat(nil)
+	for len(s) > 0 {
+		n := len(s)
+		if n > 9 {
+			n = 9
+		}
+		v, err := strconv.ParseUint(s[:n], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mp: invalid integer %q", str)
+		}
+		// acc = acc*10^n + v.
+		pow := uint32(1)
+		for i := 0; i < n; i++ {
+			pow *= 10
+		}
+		acc = natMulBasic(acc, nat{pow})
+		acc = natAdd(acc, nat{uint32(v)}.norm())
+		s = s[n:]
+	}
+	z.abs = acc
+	z.neg = neg && len(acc) > 0
+	return z, nil
+}
+
+// MustInt parses a decimal string, panicking on malformed input. Intended
+// for tests and constant tables.
+func MustInt(s string) *Int {
+	z, err := new(Int).SetString(s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}

@@ -1,0 +1,144 @@
+package poly
+
+import (
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+)
+
+// Eval returns p(t) for an integer point t, by Horner's rule.
+func (p *Poly) Eval(t *mp.Int) *mp.Int { return p.EvalCtx(metrics.Ctx{}, t) }
+
+// EvalCtx returns p(t), recording the d multiplications in ctx.
+func (p *Poly) EvalCtx(ctx metrics.Ctx, t *mp.Int) *mp.Int {
+	ctx.C.AddEval(ctx.Phase)
+	if p.IsZero() {
+		return new(mp.Int)
+	}
+	d := p.Degree()
+	v := new(mp.Int).Set(p.c[d])
+	for i := d - 1; i >= 0; i-- {
+		ctx.C.AddMul(ctx.Phase, v.BitLen(), t.BitLen())
+		v.Mul(v, t)
+		v.Add(v, p.c[i])
+	}
+	return v
+}
+
+// EvalScaled evaluates p at the dyadic rational a/2^s, returning the
+// scaled integer value
+//
+//	V = 2^(d·s) · p(a / 2^s) = Σ p_i · a^i · 2^((d-i)·s),  d = deg p,
+//
+// so that sign(V) = sign(p(a/2^s)) and V = 0 iff a/2^s is a root. This is
+// the paper's p_µ trick (§4.3): all arithmetic stays over the integers.
+// The Horner recurrence is E_k = E_{k-1}·a + p_{d-k}·2^(k·s), performing
+// exactly d multiplications, which is what the paper's evaluation cost
+// model counts.
+func (p *Poly) EvalScaled(a *mp.Int, s uint) *mp.Int {
+	return p.EvalScaledCtx(metrics.Ctx{}, a, s)
+}
+
+// EvalScaledCtx is EvalScaled with instrumentation.
+func (p *Poly) EvalScaledCtx(ctx metrics.Ctx, a *mp.Int, s uint) *mp.Int {
+	if p.IsZero() {
+		return new(mp.Int)
+	}
+	ctx.C.AddEval(ctx.Phase)
+	d := p.Degree()
+	v := new(mp.Int).Set(p.c[d])
+	var shifted mp.Int
+	for k := 1; k <= d; k++ {
+		ctx.C.AddMul(ctx.Phase, v.BitLen(), a.BitLen())
+		v.Mul(v, a)
+		shifted.Lsh(p.c[d-k], uint(k)*s)
+		ctx.C.AddAdd(ctx.Phase)
+		v.Add(v, &shifted)
+	}
+	return v
+}
+
+// SignAt returns the sign of p(a/2^s) ∈ {-1, 0, +1}, computed exactly.
+func (p *Poly) SignAt(a *mp.Int, s uint) int {
+	return p.EvalScaled(a, s).Sign()
+}
+
+// SignAtCtx is SignAt with instrumentation.
+func (p *Poly) SignAtCtx(ctx metrics.Ctx, a *mp.Int, s uint) int {
+	return p.EvalScaledCtx(ctx, a, s).Sign()
+}
+
+// SignAtNegInf returns the sign of p(x) as x → -∞: sign(lc)·(-1)^deg.
+func (p *Poly) SignAtNegInf() int {
+	s := p.Lead().Sign()
+	if p.Degree()%2 != 0 {
+		s = -s
+	}
+	return s
+}
+
+// SignAtPosInf returns the sign of p(x) as x → +∞.
+func (p *Poly) SignAtPosInf() int { return p.Lead().Sign() }
+
+// RootBound returns an integer B ≥ 1 such that every real root of p lies
+// strictly inside (-B, B), using the Cauchy bound
+// 1 + max_i |p_i| / |p_d| rounded up to the next power of two. The paper
+// (§2.2) uses the cruder bound 2^m for m-bit coefficients; a power-of-two
+// Cauchy bound keeps every interval endpoint dyadic while staying tight.
+func (p *Poly) RootBound() *mp.Int {
+	if p.Degree() < 1 {
+		return mp.NewInt(1)
+	}
+	lead := new(mp.Int).Abs(p.Lead())
+	maxAbs := new(mp.Int)
+	for _, ci := range p.c[:len(p.c)-1] {
+		a := new(mp.Int).Abs(ci)
+		if a.Cmp(maxAbs) > 0 {
+			maxAbs.Set(a)
+		}
+	}
+	// q = ceil(maxAbs / lead); bound = next power of two ≥ q+1.
+	q, r := new(mp.Int).QuoRem(maxAbs, lead, new(mp.Int))
+	if !r.IsZero() {
+		q.Add(q, mp.NewInt(1))
+	}
+	q.Add(q, mp.NewInt(1))
+	bits := uint(q.BitLen())
+	b := new(mp.Int).Lsh(mp.NewInt(1), bits)
+	if b.Cmp(q) < 0 {
+		b.Lsh(b, 1)
+	}
+	return b
+}
+
+// PseudoRem computes the pseudo-remainder of u by v (deg v ≤ deg u,
+// v ≠ 0): prem = lc(v)^(deg u - deg v + 1) · u  mod  v, which has integer
+// coefficients. Used by the Sturm baseline.
+func PseudoRem(u, v *Poly) *Poly {
+	if v.IsZero() {
+		panic("poly: PseudoRem by zero")
+	}
+	du, dv := u.Degree(), v.Degree()
+	if du < dv {
+		r := u.Clone()
+		return r
+	}
+	r := u.Clone()
+	lead := v.Lead()
+	for r.Degree() >= dv && !r.IsZero() {
+		dr := r.Degree()
+		// r = lead·r - r_lead·x^(dr-dv)·v
+		rl := new(mp.Int).Set(r.Lead())
+		r = r.ScaleInt(lead)
+		shift := make([]*mp.Int, dr-dv+1)
+		for i := range shift {
+			shift[i] = new(mp.Int)
+		}
+		shift[dr-dv] = rl
+		sub := (&Poly{c: shift}).Mul(v)
+		r = r.Sub(sub)
+		if r.Degree() == dr {
+			panic("poly: PseudoRem failed to reduce degree")
+		}
+	}
+	return r
+}

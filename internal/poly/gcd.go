@@ -1,0 +1,100 @@
+package poly
+
+import "realroots/internal/mp"
+
+// GCD returns the greatest common divisor of a and b in ℤ[x], computed
+// with a primitive pseudo-remainder sequence. The result is primitive
+// with a positive leading coefficient (up to integer content, which is
+// irrelevant for root sets); GCD(0, 0) == 0. It is used for squarefree
+// reduction (the preprocessing counterpart of the paper's repeated-root
+// extension, §2.3) and by the Sturm baseline.
+func GCD(a, b *Poly) *Poly {
+	u := a.PrimitivePart()
+	v := b.PrimitivePart()
+	if u.IsZero() {
+		return normSign(v)
+	}
+	if v.IsZero() {
+		return normSign(u)
+	}
+	if u.Degree() < v.Degree() {
+		u, v = v, u
+	}
+	for !v.IsZero() {
+		r := PseudoRem(u, v).PrimitivePart()
+		u, v = v, r
+	}
+	return normSign(u)
+}
+
+func normSign(p *Poly) *Poly {
+	if p.Lead().Sign() < 0 {
+		return p.Neg()
+	}
+	return p.Clone()
+}
+
+// SquarefreePart returns p / gcd(p, p′): the polynomial with the same
+// distinct roots as p, each with multiplicity one, primitive and with a
+// positive leading coefficient. Returns 0 for the zero polynomial and a
+// constant's primitive part for constants.
+func (p *Poly) SquarefreePart() *Poly {
+	if p.Degree() < 1 {
+		return normSign(p.PrimitivePart())
+	}
+	g := GCD(p, p.Derivative())
+	if g.Degree() == 0 {
+		return normSign(p.PrimitivePart())
+	}
+	q, r := DivMod(p.PrimitivePart(), g)
+	if !r.IsZero() {
+		// gcd(p, p') divides p exactly; a remainder means corrupted state.
+		panic("poly: SquarefreePart: gcd does not divide p")
+	}
+	return normSign(q.PrimitivePart())
+}
+
+// IsSquarefree reports whether p has no repeated roots (gcd(p, p′)
+// constant). Constants are squarefree.
+func (p *Poly) IsSquarefree() bool {
+	if p.Degree() < 1 {
+		return true
+	}
+	return GCD(p, p.Derivative()).Degree() == 0
+}
+
+// DivMod divides u by v in ℚ[x] assuming the quotient and remainder stay
+// in ℤ[x] up to the pseudo-division scaling, returning (q, r) with
+// u = q·v + r and deg r < deg v, when such integral q exists. If the true
+// rational quotient is not integral the returned pair still satisfies the
+// degree bound but r is the witness that v ∤ u. v must be non-zero.
+func DivMod(u, v *Poly) (q, r *Poly) {
+	if v.IsZero() {
+		panic("poly: DivMod by zero")
+	}
+	q = Zero()
+	r = u.Clone()
+	dv := v.Degree()
+	lead := v.Lead()
+	for !r.IsZero() && r.Degree() >= dv {
+		dr := r.Degree()
+		// Candidate term: (lead(r)/lead(v))·x^(dr-dv); bail out if the
+		// leading coefficient is not divisible.
+		quo, rem := new(mp.Int).QuoRem(r.Lead(), lead, new(mp.Int))
+		if !rem.IsZero() {
+			return q, r
+		}
+		tc := make([]*mp.Int, dr-dv+1)
+		for i := range tc {
+			tc[i] = new(mp.Int)
+		}
+		tc[dr-dv] = quo
+		term := (&Poly{c: tc}).norm()
+		q = q.Add(term)
+		r = r.Sub(term.Mul(v))
+		if !r.IsZero() && r.Degree() == dr {
+			panic("poly: DivMod failed to reduce degree")
+		}
+	}
+	return q, r
+}

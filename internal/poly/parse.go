@@ -1,0 +1,207 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+
+	"realroots/internal/mp"
+)
+
+// Parse reads a univariate integer polynomial from conventional notation,
+// e.g. "x^3 - 8x^2 - 23x + 30", "3*x^2+x-7", or "-2x". Accepted syntax:
+// terms joined by + or -, each term an optional integer coefficient, an
+// optional '*', and an optional power of the single variable x (any
+// letter is accepted as the variable, but all terms must use the same
+// one). Whitespace is ignored. The result is the exact sum of the terms,
+// so repeated powers accumulate ("x + x" is 2x).
+func Parse(s string) (*Poly, error) {
+	p := newParser(s)
+	out, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("poly: parsing %q: %w", s, err)
+	}
+	return out, nil
+}
+
+// MustParse is Parse for tests and constant tables; it panics on error.
+func MustParse(s string) *Poly {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	s   string
+	pos int
+	v   rune // the variable letter, once seen
+}
+
+func newParser(s string) *parser { return &parser{s: s} }
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (p *parser) parse() (*Poly, error) {
+	coeffs := map[int]*mp.Int{}
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.s) {
+			if first {
+				return nil, fmt.Errorf("empty input")
+			}
+			break
+		}
+		sign := 1
+		switch p.peek() {
+		case '+':
+			p.pos++
+		case '-':
+			sign = -1
+			p.pos++
+		default:
+			if !first {
+				return nil, fmt.Errorf("expected + or - at position %d", p.pos)
+			}
+		}
+		first = false
+		coeff, deg, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if sign < 0 {
+			coeff.Neg(coeff)
+		}
+		if old, ok := coeffs[deg]; ok {
+			old.Add(old, coeff)
+		} else {
+			coeffs[deg] = coeff
+		}
+	}
+	maxDeg := 0
+	for d := range coeffs {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	c := make([]*mp.Int, maxDeg+1)
+	for i := range c {
+		if v, ok := coeffs[i]; ok {
+			c[i] = v
+		} else {
+			c[i] = new(mp.Int)
+		}
+	}
+	return New(c...), nil
+}
+
+// parseTerm reads [int] ['*'] [var ['^' int]] after any sign.
+func (p *parser) parseTerm() (*mp.Int, int, error) {
+	p.skipSpace()
+	coeff := mp.NewInt(1)
+	haveCoeff := false
+	if isDigit(p.peek()) {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, 0, err
+		}
+		coeff = n
+		haveCoeff = true
+	}
+	p.skipSpace()
+	if p.peek() == '*' {
+		if !haveCoeff {
+			return nil, 0, fmt.Errorf("unexpected '*' at position %d", p.pos)
+		}
+		p.pos++
+		p.skipSpace()
+	}
+	if !isLetter(p.peek()) {
+		if !haveCoeff {
+			return nil, 0, fmt.Errorf("expected term at position %d", p.pos)
+		}
+		return coeff, 0, nil
+	}
+	v := rune(p.peek())
+	if p.v == 0 {
+		p.v = v
+	} else if p.v != v {
+		return nil, 0, fmt.Errorf("mixed variables %q and %q", p.v, v)
+	}
+	p.pos++
+	p.skipSpace()
+	deg := 1
+	if p.peek() == '^' {
+		p.pos++
+		p.skipSpace()
+		if !isDigit(p.peek()) {
+			return nil, 0, fmt.Errorf("expected exponent at position %d", p.pos)
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !n.IsInt64() || n.Int64() > 1<<20 {
+			return nil, 0, fmt.Errorf("exponent %s too large", n)
+		}
+		deg = int(n.Int64())
+	}
+	return coeff, deg, nil
+}
+
+func (p *parser) parseInt() (*mp.Int, error) {
+	start := p.pos
+	for p.pos < len(p.s) && isDigit(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("expected integer at position %d", start)
+	}
+	n, err := new(mp.Int).SetString(p.s[start:p.pos])
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ParseOrCoeffs accepts either a symbolic expression (containing a
+// letter) or a whitespace/comma-separated ascending coefficient list
+// ("30 -23 -8 1"), for command-line convenience.
+func ParseOrCoeffs(s string) (*Poly, error) {
+	if strings.IndexFunc(s, func(r rune) bool {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+	}) >= 0 {
+		return Parse(s)
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("poly: empty coefficient list")
+	}
+	c := make([]*mp.Int, len(fields))
+	for i, f := range fields {
+		v, err := new(mp.Int).SetString(f)
+		if err != nil {
+			return nil, fmt.Errorf("poly: bad coefficient %q", f)
+		}
+		c[i] = v
+	}
+	return New(c...), nil
+}

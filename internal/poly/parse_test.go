@@ -1,0 +1,112 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"realroots/internal/mp"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]*Poly{
+		"x^3 - 8x^2 - 23x + 30": FromInt64s(30, -23, -8, 1),
+		"3*x^2+x-7":             FromInt64s(-7, 1, 3),
+		"-2x":                   FromInt64s(0, -2),
+		"42":                    FromInt64s(42),
+		"-1":                    FromInt64s(-1),
+		"x":                     FromInt64s(0, 1),
+		"-x^2":                  FromInt64s(0, 0, -1),
+		"x + x":                 FromInt64s(0, 2),
+		"2 * x ^ 3":             FromInt64s(0, 0, 0, 2),
+		"y^2 - y":               FromInt64s(0, -1, 1),
+		"x^2 - 2x + 1":          FromInt64s(1, -2, 1),
+		"5 - x":                 FromInt64s(5, -1),
+		"x^2 + 0x + 0":          FromInt64s(0, 0, 1),
+		"x - x":                 Zero(),
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "   ", "x +", "+", "x^", "x^y", "x y", "x^2 y", "3**x", "*x",
+		"x^9999999999", "x + z", "x..2", "x^-2",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseBigCoefficients(t *testing.T) {
+	got, err := Parse("123456789012345678901234567890x^2 - 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := new(mp.Int).SetString("123456789012345678901234567890")
+	if got.Coeff(2).Cmp(want) != 0 || got.Coeff(0).Int64() != -1 {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	// String() output must parse back to the same polynomial.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPoly(r, 6, 24)
+		if p.IsZero() {
+			return true // String renders "0", which is a constant; fine
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseOrCoeffs(t *testing.T) {
+	a, err := ParseOrCoeffs("30 -23 -8 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseOrCoeffs("x^3 - 8x^2 - 23x + 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("%s != %s", a, b)
+	}
+	c, err := ParseOrCoeffs("30,-23,-8,1")
+	if err != nil || !c.Equal(a) {
+		t.Fatalf("comma form: %v %v", c, err)
+	}
+	if _, err := ParseOrCoeffs(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseOrCoeffs("1 2 q"); err == nil {
+		t.Error("mixed garbage accepted")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParse("++")
+}

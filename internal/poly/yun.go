@@ -1,0 +1,54 @@
+package poly
+
+// Yun computes the squarefree decomposition of p by Yun's algorithm:
+// it returns factors u_1, u_2, …, u_m with
+//
+//	pp(p) = ± u_1 · u_2² · … · u_m^m   (up to integer content),
+//
+// where each u_k is primitive and squarefree and collects exactly the
+// roots of p with multiplicity k (u_k may be the constant 1). This
+// extends the paper's repeated-root handling (§2.3): the distinct roots
+// of p are the union of the roots of the u_k, and solving each factor
+// separately recovers every multiplicity.
+func Yun(p *Poly) []*Poly {
+	if p.Degree() < 1 {
+		return nil
+	}
+	p = normSign(p.PrimitivePart())
+	g := GCD(p, p.Derivative())
+	if g.Degree() == 0 {
+		return []*Poly{p.Clone()}
+	}
+	w, r := DivMod(p, g)
+	if !r.IsZero() {
+		panic("poly: Yun: gcd does not divide p")
+	}
+	y, r := DivMod(p.Derivative(), g)
+	if !r.IsZero() {
+		panic("poly: Yun: gcd does not divide p'")
+	}
+	z := y.Sub(w.Derivative())
+
+	var factors []*Poly
+	for {
+		if w.Degree() == 0 {
+			break
+		}
+		u := GCD(w, z)
+		factors = append(factors, u)
+		w, r = DivMod(w, u)
+		if !r.IsZero() {
+			panic("poly: Yun: u does not divide w")
+		}
+		y, r = DivMod(z, u)
+		if !r.IsZero() {
+			panic("poly: Yun: u does not divide z")
+		}
+		z = y.Sub(w.Derivative())
+	}
+	// Trim trailing constant factors.
+	for len(factors) > 0 && factors[len(factors)-1].Degree() == 0 {
+		factors = factors[:len(factors)-1]
+	}
+	return factors
+}

@@ -1,0 +1,44 @@
+package remseq
+
+import (
+	"fmt"
+	"testing"
+
+	"realroots/internal/sched"
+	"realroots/internal/workload"
+)
+
+func BenchmarkCompute(b *testing.B) {
+	for _, n := range []int{20, 40, 70} {
+		p := workload.CharPoly01(1, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(p, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeParallel(b *testing.B) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	p := workload.CharPoly01(1, 40)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(p, Options{Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariations(b *testing.B) {
+	p := workload.CharPoly01(1, 40)
+	s, err := Compute(p, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s.RealRootCount()
+	}
+}

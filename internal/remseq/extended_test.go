@@ -1,0 +1,207 @@
+package remseq
+
+import (
+	"math/rand"
+	"testing"
+
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+)
+
+// withMults builds ∏(x - r_k)^{m_k} with the requested multiplicities.
+func withMults(roots []int64, mults []int) *poly.Poly {
+	p := poly.FromInt64s(1)
+	for i, r := range roots {
+		for j := 0; j < mults[i]; j++ {
+			p = p.MulLinear(mp.NewInt(r))
+		}
+	}
+	return p
+}
+
+func TestExtendedDetectsNStar(t *testing.T) {
+	cases := []struct {
+		roots []int64
+		mults []int
+	}{
+		{[]int64{1, -4, 9}, []int{3, 2, 1}},
+		{[]int64{0, 5}, []int{2, 2}},
+		{[]int64{7}, []int{4}},
+		{[]int64{-2, 3, 11, 20}, []int{1, 1, 2, 1}},
+	}
+	for _, c := range cases {
+		p := withMults(c.roots, c.mults)
+		e, err := ComputeExtended(p, metrics.Ctx{})
+		if err != nil {
+			t.Fatalf("%v^%v: %v", c.roots, c.mults, err)
+		}
+		if e.NStar != len(c.roots) {
+			t.Errorf("%v^%v: NStar = %d, want %d", c.roots, c.mults, e.NStar, len(c.roots))
+		}
+		// The terminating gcd must vanish exactly at the repeated roots.
+		for i, r := range c.roots {
+			want := c.mults[i] > 1
+			got := e.Gcd.Eval(mp.NewInt(r)).Sign() == 0
+			if got != want {
+				t.Errorf("%v^%v: gcd(%d) zero=%v, want %v", c.roots, c.mults, r, got, want)
+			}
+		}
+	}
+}
+
+func TestExtendedRejectsSquarefree(t *testing.T) {
+	p := poly.FromRoots(mp.NewInt(1), mp.NewInt(2), mp.NewInt(3))
+	if _, err := ComputeExtended(p, metrics.Ctx{}); err == nil {
+		t.Fatal("squarefree input accepted")
+	}
+}
+
+func TestExtendedTailShape(t *testing.T) {
+	p := withMults([]int64{2, -3}, []int{2, 3}) // degree 5, n* = 2
+	e, err := ComputeExtended(p, metrics.Ctx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N != 5 || e.NStar != 2 {
+		t.Fatalf("N=%d NStar=%d", e.N, e.NStar)
+	}
+	// Eqs. 10-12.
+	for i := e.NStar; i < e.N; i++ {
+		if !e.F[i].Equal(poly.FromInt64s(1)) {
+			t.Errorf("F_%d = %s, want 1", i, e.F[i])
+		}
+		if !e.Q[i].Equal(poly.FromInt64s(1)) {
+			t.Errorf("Q_%d = %s, want 1", i, e.Q[i])
+		}
+	}
+	if !e.F[e.N].IsZero() {
+		t.Errorf("F_n = %s, want 0", e.F[e.N])
+	}
+}
+
+// TestTheorem2Degrees verifies the degree claim of Theorem 2 on random
+// repeated-root inputs: deg P_{i,j} = max{0, min(n*-i+1, j-i+1)} for
+// every 1 ≤ i ≤ j ≤ n-1.
+func TestTheorem2Degrees(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + r.Intn(3)
+		seen := map[int64]bool{}
+		var roots []int64
+		var mults []int
+		deg := 0
+		for len(roots) < k || deg < 3 {
+			v := int64(r.Intn(21) - 10)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			m := 1 + r.Intn(3)
+			roots = append(roots, v)
+			mults = append(mults, m)
+			deg += m
+		}
+		hasRepeat := false
+		for _, m := range mults {
+			if m > 1 {
+				hasRepeat = true
+			}
+		}
+		if !hasRepeat {
+			mults[0]++
+			deg++
+		}
+		p := withMults(roots, mults)
+		e, err := ComputeExtended(p, metrics.Ctx{})
+		if err != nil {
+			t.Fatalf("trial %d (%v^%v): %v", trial, roots, mults, err)
+		}
+		for i := 1; i <= e.N-1; i++ {
+			for j := i; j <= e.N-1; j++ {
+				got := e.P(metrics.Ctx{}, i, j).Degree()
+				want := e.Theorem2Degree(i, j)
+				if want == 0 {
+					// Degenerate indices: constant or (beyond n*+1) the
+					// zero polynomial.
+					if got > 0 {
+						t.Fatalf("trial %d: deg P_{%d,%d} = %d, want ≤ 0", trial, i, j, got)
+					}
+					continue
+				}
+				if got != want {
+					t.Fatalf("trial %d (%v^%v, n*=%d): deg P_{%d,%d} = %d, want %d",
+						trial, roots, mults, e.NStar, i, j, got, want)
+				}
+			}
+		}
+		// The rightmost spine realizes Theorem 2's n*-i+1 degrees.
+		for i := 1; i <= e.NStar; i++ {
+			if got := e.SpineP(i).Degree(); got != e.NStar-i+1 {
+				t.Fatalf("trial %d: deg SpineP(%d) = %d, want %d", trial, i, got, e.NStar-i+1)
+			}
+		}
+	}
+}
+
+// TestTheorem2DistinctRealRoots verifies that every non-constant
+// P_{i,j} over the extended sequence has the full count of distinct
+// real roots (checked by Sturm on its squarefree-ness and count).
+func TestTheorem2DistinctRealRoots(t *testing.T) {
+	p := withMults([]int64{1, -4, 9, 15}, []int{2, 1, 3, 1}) // degree 7, n* = 4
+	e, err := ComputeExtended(p, metrics.Ctx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= e.N-1; i++ {
+		for j := i; j <= e.N-1; j++ {
+			pij := e.P(metrics.Ctx{}, i, j)
+			if pij.Degree() < 1 {
+				continue
+			}
+			if !pij.IsSquarefree() {
+				t.Fatalf("P_{%d,%d} = %s has repeated roots", i, j, pij)
+			}
+			s, err := Compute(pij, Options{})
+			if err != nil {
+				t.Fatalf("P_{%d,%d} = %s: %v", i, j, pij, err)
+			}
+			if got := s.RealRootCount(); got != pij.Degree() {
+				t.Fatalf("P_{%d,%d} has %d real roots for degree %d", i, j, got, pij.Degree())
+			}
+		}
+	}
+}
+
+// TestTheorem2RootPolynomial verifies the paper's §2.3 conclusion: the
+// top non-degenerate tree polynomial over the extended sequence has
+// degree n* and vanishes exactly at the distinct roots of p.
+func TestTheorem2RootPolynomial(t *testing.T) {
+	cases := []struct {
+		roots []int64
+		mults []int
+	}{
+		{[]int64{1, -4, 9}, []int{3, 2, 1}},
+		{[]int64{0, 5, -7}, []int{2, 2, 2}},
+		{[]int64{3, 8}, []int{1, 3}},
+	}
+	for _, c := range cases {
+		p := withMults(c.roots, c.mults)
+		e, err := ComputeExtended(p, metrics.Ctx{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := e.RootPoly()
+		if top.Degree() != e.NStar {
+			t.Fatalf("%v^%v: deg RootPoly = %d, want n* = %d", c.roots, c.mults, top.Degree(), e.NStar)
+		}
+		for _, r := range c.roots {
+			if top.Eval(mp.NewInt(r)).Sign() != 0 {
+				t.Fatalf("%v^%v: RootPoly(%d) != 0", c.roots, c.mults, r)
+			}
+		}
+		if !top.IsSquarefree() {
+			t.Fatalf("%v^%v: RootPoly not squarefree", c.roots, c.mults)
+		}
+	}
+}

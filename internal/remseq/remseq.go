@@ -1,0 +1,244 @@
+// Package remseq computes the standard remainder sequence
+// F_0, F_1, …, F_n and the quotient sequence Q_1, …, Q_{n-1} of a
+// squarefree real-rooted polynomial (paper §2.1), using the explicit
+// per-coefficient recurrences of §3.1:
+//
+//	q_{i,1} = c_{i-1}·c_i
+//	q_{i,0} = f_{i,n-i}·f_{i-1,n-i} - f_{i,n-i-1}·f_{i-1,n-i+1}
+//	f_{i+1,j} = (f_{i,j}·q_{i,0} + f_{i,j-1}·q_{i,1} - c_i²·f_{i-1,j}) / c_{i-1}²
+//
+// (with the i = 1 step dividing by 1, matching F_2 = Q_1F_1 - c_1²F_0).
+// All divisions are exact over ℤ (Collins 1967). Each iteration's
+// coefficient computations are independent, which is exactly the
+// parallelism the paper exploits in its precomputation phase; Compute
+// optionally runs them on a sched.Pool, and the sequential path is the
+// paper's run-time option of executing this stage on one processor.
+//
+// The sequence is also a Sturm chain (each F_{i+1} is a positive
+// multiple of the negated remainder of the two previous terms), which
+// this package exposes for root counting and input validation.
+package remseq
+
+import (
+	"errors"
+	"fmt"
+
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+	"realroots/internal/sched"
+)
+
+// ErrNotSquarefree reports that the input has repeated roots: the
+// remainder sequence terminated early with a non-trivial GCD. Callers
+// handle it by reducing to the squarefree part (the preprocessing
+// counterpart of the paper's §2.3 extension) and recomputing.
+var ErrNotSquarefree = errors.New("remseq: polynomial has repeated roots")
+
+// ErrNotAllReal reports that the remainder sequence is abnormal for a
+// squarefree input, which cannot happen when all roots are real
+// (Theorem 1): the input violates the algorithm's precondition.
+var ErrNotAllReal = errors.New("remseq: polynomial does not have all real roots")
+
+// A Sequence holds the remainder and quotient sequences of F_0.
+type Sequence struct {
+	N   int          // degree of F_0
+	F   []*poly.Poly // F[0..N]; deg F[i] = N-i; F[N] is a non-zero constant
+	Q   []*poly.Poly // Q[1..N-1] linear; Q[0] is nil
+	C   []*mp.Int    // C[i] = lc(F[i]); the actual leading coefficients
+	csq []*mp.Int    // csq[i] = c_i², except csq[0] = 1 (Appendix A's c_0 = ±1 convention)
+}
+
+// Options configures Compute.
+type Options struct {
+	// Pool, if non-nil, computes each iteration's coefficients in
+	// parallel (§3.1). Nil runs sequentially — the paper's run-time
+	// option for a sequential precomputation stage.
+	Pool *sched.Pool
+	// Grain is the number of coefficient tasks batched per scheduler
+	// task; ≤ 0 means one coefficient per task (finest grain).
+	Grain int
+	// Ctx records the arithmetic in the remainder phase.
+	Ctx metrics.Ctx
+}
+
+// Compute returns the remainder sequence of p, which must be squarefree
+// with all roots real and degree ≥ 1. It returns ErrNotSquarefree or
+// ErrNotAllReal when the sequence reveals a precondition violation.
+func Compute(p *poly.Poly, opts Options) (*Sequence, error) {
+	n := p.Degree()
+	if n < 1 {
+		return nil, fmt.Errorf("remseq: degree %d polynomial has no roots to isolate", n)
+	}
+	ctx := opts.Ctx.In(metrics.PhaseRemainder)
+
+	// Coefficient table: f[i][j] = coefficient of x^j in F_i, deg F_i = n-i.
+	f := make([][]*mp.Int, n+1)
+	f[0] = coeffs(p, n)
+	f[1] = coeffs(p.Derivative(), n-1)
+
+	s := &Sequence{N: n}
+	s.Q = make([]*poly.Poly, n)
+
+	one := mp.NewInt(1)
+	for i := 1; i < n; i++ {
+		ci := f[i][n-i]      // c_i
+		ci1 := f[i-1][n-i+1] // c_{i-1}
+		if ci.IsZero() {
+			return nil, classify(p)
+		}
+		// q_{i,1} = c_{i-1}·c_i ; q_{i,0} = c_i·f_{i-1,n-i} - f_{i,n-i-1}·c_{i-1}.
+		q1 := ctx.Mul(ci1, ci)
+		var fiLow *mp.Int
+		if n-i-1 >= 0 {
+			fiLow = f[i][n-i-1]
+		} else {
+			fiLow = new(mp.Int)
+		}
+		q0 := ctx.Sub(ctx.Mul(ci, f[i-1][n-i]), ctx.Mul(fiLow, ci1))
+		s.Q[i] = poly.New(q0, q1)
+
+		cisq := ctx.Sqr(ci)
+		divisor := one
+		if i >= 2 {
+			divisor = ctx.Sqr(ci1)
+		}
+
+		// f_{i+1,j} for 0 ≤ j ≤ n-i-1, each independent of the others.
+		next := make([]*mp.Int, n-i)
+		body := func(j int) {
+			t := ctx.Mul(f[i][j], q0)
+			if j >= 1 {
+				t = ctx.Add(t, ctx.Mul(f[i][j-1], q1))
+			}
+			t = ctx.Sub(t, ctx.Mul(cisq, f[i-1][j]))
+			if divisor.IsOne() {
+				next[j] = t
+			} else {
+				next[j] = ctx.DivExact(t, divisor)
+			}
+		}
+		if opts.Pool != nil {
+			opts.Pool.ParallelFor(n-i, opts.Grain, body)
+		} else {
+			for j := 0; j < n-i; j++ {
+				body(j)
+			}
+		}
+		f[i+1] = next
+
+		if f[i+1][n-i-1].IsZero() {
+			// Degree dropped by more than one: abnormal sequence.
+			return nil, classify(p)
+		}
+	}
+
+	s.F = make([]*poly.Poly, n+1)
+	s.C = make([]*mp.Int, n+1)
+	s.csq = make([]*mp.Int, n+1)
+	for i := 0; i <= n; i++ {
+		s.F[i] = poly.New(f[i]...)
+		if s.F[i].Degree() != n-i {
+			return nil, classify(p)
+		}
+		s.C[i] = new(mp.Int).Set(f[i][n-i])
+		if i == 0 {
+			s.csq[0] = mp.NewInt(1)
+		} else {
+			s.csq[i] = new(mp.Int).Sqr(s.C[i])
+		}
+	}
+	return s, nil
+}
+
+// classify distinguishes the two precondition violations.
+func classify(p *poly.Poly) error {
+	if !p.IsSquarefree() {
+		return ErrNotSquarefree
+	}
+	return ErrNotAllReal
+}
+
+func coeffs(p *poly.Poly, deg int) []*mp.Int {
+	c := make([]*mp.Int, deg+1)
+	for j := 0; j <= deg; j++ {
+		c[j] = new(mp.Int).Set(p.Coeff(j))
+	}
+	return c
+}
+
+// Csq returns c_i² under the Appendix A convention c_0 = ±1 (so
+// Csq(0) == 1). The returned value must not be mutated.
+func (s *Sequence) Csq(i int) *mp.Int { return s.csq[i] }
+
+// Variations returns the number of sign variations of
+// F_0(x), F_1(x), …, F_n(x) at the dyadic point x = a/2^scale, skipping
+// zeros, optionally recording the evaluations in ctx.
+func (s *Sequence) Variations(ctx metrics.Ctx, a *mp.Int, scale uint) int {
+	v := 0
+	prev := 0
+	for _, fi := range s.F {
+		sg := fi.SignAtCtx(ctx, a, scale)
+		if sg == 0 {
+			continue
+		}
+		if prev != 0 && sg != prev {
+			v++
+		}
+		prev = sg
+	}
+	return v
+}
+
+// VariationsAtNegInf returns the sign variations of the chain as x → -∞.
+func (s *Sequence) VariationsAtNegInf() int { return s.variationsInf(true) }
+
+// VariationsAtPosInf returns the sign variations of the chain as x → +∞.
+func (s *Sequence) VariationsAtPosInf() int { return s.variationsInf(false) }
+
+func (s *Sequence) variationsInf(negInf bool) int {
+	v := 0
+	prev := 0
+	for _, fi := range s.F {
+		var sg int
+		if negInf {
+			sg = fi.SignAtNegInf()
+		} else {
+			sg = fi.SignAtPosInf()
+		}
+		if sg == 0 {
+			continue
+		}
+		if prev != 0 && sg != prev {
+			v++
+		}
+		prev = sg
+	}
+	return v
+}
+
+// RealRootCount returns the number of distinct real roots of F_0 by
+// Sturm's theorem applied to the whole real line.
+func (s *Sequence) RealRootCount() int {
+	return s.VariationsAtNegInf() - s.VariationsAtPosInf()
+}
+
+// CountRootsBelow returns the number of roots of F_0 in (-∞, a/2^scale),
+// counting a root at the point itself as not below (Sturm variations
+// skip zeros, so a chain zero at the sample point is attributed
+// consistently for both endpoints of an interval query).
+func (s *Sequence) CountRootsBelow(ctx metrics.Ctx, a *mp.Int, scale uint) int {
+	return s.VariationsAtNegInf() - s.Variations(ctx, a, scale)
+}
+
+// Validate checks the Sturm-count invariant that F_0 has exactly N
+// distinct real roots; it returns ErrNotAllReal otherwise. Compute's
+// structural checks catch most violations, but a normal remainder
+// sequence can still arise from polynomials with complex roots (e.g.
+// x²+1), and this global count is the sound final check.
+func (s *Sequence) Validate() error {
+	if s.RealRootCount() != s.N {
+		return ErrNotAllReal
+	}
+	return nil
+}

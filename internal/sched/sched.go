@@ -1,0 +1,189 @@
+// Package sched implements the dynamic-scheduling work pool described in
+// §3 of the paper: the algorithm's computations are divided into tasks
+// kept in a task queue; whenever a processor becomes free it picks the
+// first task from the queue, and completing a task usually causes other
+// tasks to be added. Workers are goroutines; the worker count plays the
+// role of the paper's processor count (1..19 on the Sequent Symmetry).
+//
+// Tasks must never block waiting for other tasks: dependencies are
+// expressed with After/NewGate continuation counters, exactly like the
+// per-node status records the paper uses for synchronization (§3.2).
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Pool is a fixed set of worker goroutines draining a dynamic FIFO
+// task queue. Create one with NewPool and release it with Close.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []queued
+	closed bool
+
+	outstanding atomic.Int64 // queued + running tasks
+	idleMu      sync.Mutex
+	idleCond    *sync.Cond
+
+	workers  int
+	executed atomic.Int64 // total tasks run (diagnostics)
+
+	sim *simState // non-nil in simulation mode (see sim.go)
+}
+
+// queued is one queue entry: the task plus its simulated ready time
+// (zero outside simulation mode).
+type queued struct {
+	f      func()
+	vready time.Duration
+}
+
+// NewPool starts a pool with the given number of workers (≥ 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: invalid worker count %d", workers))
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.idleCond = sync.NewCond(&p.idleMu)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Executed returns the number of tasks the pool has completed.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+func (p *Pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed && len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		simulated := p.sim != nil
+		p.mu.Unlock()
+
+		if simulated {
+			proc, start := p.simBegin(task.vready)
+			task.f()
+			p.simEnd(proc, start)
+		} else {
+			task.f()
+		}
+		p.executed.Add(1)
+		if p.outstanding.Add(-1) == 0 {
+			p.idleMu.Lock()
+			p.idleCond.Broadcast()
+			p.idleMu.Unlock()
+		}
+	}
+}
+
+// Submit enqueues a ready-to-run task. It never blocks and may be called
+// from inside other tasks.
+func (p *Pool) Submit(task func()) {
+	p.outstanding.Add(1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Submit on closed pool")
+	}
+	p.queue = append(p.queue, queued{f: task, vready: p.simReadyTime()})
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Wait blocks until every submitted task (including tasks submitted by
+// running tasks) has completed. It must not be called from inside a task.
+func (p *Pool) Wait() {
+	p.idleMu.Lock()
+	defer p.idleMu.Unlock()
+	for p.outstanding.Load() != 0 {
+		p.idleCond.Wait()
+	}
+}
+
+// Close shuts the pool down after the queue drains. The pool must not be
+// used afterwards.
+func (p *Pool) Close() {
+	p.Wait()
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// ParallelFor runs f(i) for i in [0, n) on the pool and blocks until all
+// iterations finish. Iterations are batched into contiguous chunks of
+// the given grain (grain ≤ 0 means one iteration per task — the paper's
+// finest granularity). It must not be called from inside a task.
+func (p *Pool) ParallelFor(n, grain int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		p.Submit(func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		})
+	}
+	wg.Wait()
+}
+
+// A Gate fires a task once a fixed number of prerequisite completions
+// have been signalled. It is the scheduler-side analogue of the paper's
+// per-node status data structures: "completion of a certain task at a
+// node would cause an update of that node's status [which] enables the
+// execution of another task" (§3.2).
+type Gate struct {
+	remaining atomic.Int32
+	pool      *Pool
+	task      func()
+}
+
+// NewGate creates a gate that submits task to the pool after need
+// completions. If need is 0 the task is submitted immediately.
+func NewGate(pool *Pool, need int, task func()) *Gate {
+	g := &Gate{pool: pool, task: task}
+	g.remaining.Store(int32(need))
+	if need == 0 {
+		pool.Submit(task)
+	}
+	return g
+}
+
+// Done signals one completed prerequisite; the last one enqueues the
+// gated task.
+func (g *Gate) Done() {
+	if n := g.remaining.Add(-1); n == 0 {
+		g.pool.Submit(g.task)
+	} else if n < 0 {
+		panic("sched: Gate.Done called too many times")
+	}
+}

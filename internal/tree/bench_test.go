@@ -1,0 +1,45 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"realroots/internal/metrics"
+	"realroots/internal/remseq"
+	"realroots/internal/workload"
+)
+
+func benchSeq(b *testing.B, n int) *remseq.Sequence {
+	b.Helper()
+	p := workload.CharPoly01(1, n)
+	s, err := remseq.Compute(p, remseq.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkComputeAll compares the bottom-up T-matrix route against the
+// cofactor route of §2.1 (DESIGN.md ablation: why the paper computes
+// the tree bottom-up).
+func BenchmarkComputeAll(b *testing.B) {
+	for _, n := range []int{20, 40} {
+		s := benchSeq(b, n)
+		b.Run(fmt.Sprintf("tmatrix/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ComputeAllSequential(s, metrics.Ctx{}, Build(n))
+			}
+		})
+		b.Run(fmt.Sprintf("cofactor/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ComputeAllViaCofactors(s, metrics.Ctx{}, Build(n))
+			}
+		})
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build(127)
+	}
+}

@@ -1,0 +1,125 @@
+package tree
+
+import (
+	"fmt"
+
+	"realroots/internal/metrics"
+	"realroots/internal/poly"
+	"realroots/internal/remseq"
+)
+
+// The cofactor route. Section 2.1 defines the tree polynomials first
+// through the cofactor sequences {A_i(x)}, {B_i(x)} with
+// F_i = A_i·F_0 + B_i·F_1 (Eqs. 3-4):
+//
+//	P_{i,j} = A_{i-1}·B_{j+1} - A_{j+1}·B_{i-1},  1 ≤ i ≤ j < n   (Eq. 5)
+//
+// before switching to the bottom-up T-matrix recursion that the
+// implementation uses "in keeping with the bottom-up traversal of the
+// tree". This file implements the cofactor route directly: it is an
+// independent oracle for the T-matrix computation (every entry of every
+// T matrix is a ± cofactor combination, Appendix A Eq. 54) and an
+// ablation point quantifying why the paper preferred the bottom-up
+// form.
+
+// Cofactors holds A_0..A_n and B_0..B_n with A_0 = 1, B_0 = 0,
+// A_1 = 0, B_1 = 1, and [[A_j, B_j], [A_{j+1}, B_{j+1}]] = S_j···S_1.
+type Cofactors struct {
+	A, B []*poly.Poly
+}
+
+// ComputeCofactors builds the cofactor sequences from the remainder
+// sequence by accumulating T_{1,j} = Ŝ_j·T_{1,j-1}/c_{j-1}² left to
+// right (all divisions exact).
+func ComputeCofactors(s *remseq.Sequence, ctx metrics.Ctx) *Cofactors {
+	ctx = ctx.In(metrics.PhaseTree)
+	n := s.N
+	c := &Cofactors{
+		A: make([]*poly.Poly, n+1),
+		B: make([]*poly.Poly, n+1),
+	}
+	c.A[0] = poly.FromInt64s(1)
+	c.B[0] = poly.Zero()
+	if n == 0 {
+		return c
+	}
+	c.A[1] = poly.Zero()
+	c.B[1] = poly.FromInt64s(1)
+
+	t := SHat(s, 1) // T_{1,1} = S_1
+	c.A[2] = t[1][0]
+	c.B[2] = t[1][1]
+	for j := 2; j < n; j++ {
+		t = SHat(s, j).Mul(ctx, t).DivExact(ctx, s.Csq(j-1))
+		c.A[j+1] = t[1][0]
+		c.B[j+1] = t[1][1]
+	}
+	return c
+}
+
+// P computes P_{i,j} by Eq. 5 (for j < n) or as F_{i-1} (for j = n).
+func (c *Cofactors) P(s *remseq.Sequence, ctx metrics.Ctx, i, j int) *poly.Poly {
+	n := s.N
+	if i < 1 || i > j || j > n {
+		panic(fmt.Sprintf("tree: cofactor P out of range [%d,%d]", i, j))
+	}
+	if i > j {
+		return poly.FromInt64s(1)
+	}
+	if j == n {
+		return s.F[i-1]
+	}
+	ctx = ctx.In(metrics.PhaseTree)
+	lhs := c.A[i-1].MulCtx(ctx, c.B[j+1])
+	rhs := c.A[j+1].MulCtx(ctx, c.B[i-1])
+	return lhs.SubCtx(ctx, rhs)
+}
+
+// CheckIdentity verifies F_i = A_i·F_0 + B_i·F_1 for every i, returning
+// the first violation. Used by tests and by the solver's self-check.
+func (c *Cofactors) CheckIdentity(s *remseq.Sequence) error {
+	for i := 0; i <= s.N; i++ {
+		got := c.A[i].Mul(s.F[0]).Add(c.B[i].Mul(s.F[1]))
+		if !got.Equal(s.F[i]) {
+			return fmt.Errorf("tree: cofactor identity fails at i=%d", i)
+		}
+	}
+	return nil
+}
+
+// ComputeAllViaCofactors fills every node's polynomial in the subtree
+// using the cofactor route instead of the T-matrix recursion. Node
+// matrices are not populated. It exists for cross-checking and for the
+// ablation benchmark; the production driver uses ComputePoly.
+func ComputeAllViaCofactors(s *remseq.Sequence, ctx metrics.Ctx, root *Node) {
+	c := ComputeCofactors(s, ctx)
+	root.Walk(func(nd *Node) {
+		nd.P = c.P(s, ctx, nd.I, nd.J)
+	})
+}
+
+// TViaCofactors assembles the full T_{i,j} matrix from cofactor P's by
+// Appendix A Eq. 54 (valid for i < j < n):
+//
+//	T_{i,j} = [ -P_{i+1,j-1}  P_{i,j-1} ]
+//	          [ -P_{i+1,j}    P_{i,j}   ]
+//
+// with the degenerate entry interpreted as P_{b+1,b} = c_b² — the value
+// the matrix identity actually requires (T_{b+1,b} = c_b²·I), rather
+// than Eq. 5's standalone convention P_{i,j} = 1 for i > j.
+func (c *Cofactors) TViaCofactors(s *remseq.Sequence, ctx metrics.Ctx, i, j int) *Matrix2 {
+	neg := func(p *poly.Poly) *poly.Poly { return p.Neg() }
+	pij := func(a, b int) *poly.Poly {
+		if a == b+1 {
+			return poly.Constant(s.Csq(b))
+		}
+		if a > b {
+			panic(fmt.Sprintf("tree: degenerate P_{%d,%d} beyond one step", a, b))
+		}
+		return c.P(s, ctx, a, b)
+	}
+	return &Matrix2{
+		{neg(pij(i+1, j-1)), pij(i, j-1)},
+		{neg(pij(i+1, j)), pij(i, j)},
+	}
+}

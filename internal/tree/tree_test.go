@@ -1,0 +1,317 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+	"realroots/internal/remseq"
+)
+
+func seqFor(t *testing.T, p *poly.Poly) *remseq.Sequence {
+	t.Helper()
+	s, err := remseq.Compute(p, remseq.Options{})
+	if err != nil {
+		t.Fatalf("remseq(%s): %v", p, err)
+	}
+	return s
+}
+
+func distinctRoots(r *rand.Rand, k int) []*mp.Int {
+	seen := map[int64]bool{}
+	var roots []*mp.Int
+	for len(roots) < k {
+		v := int64(r.Intn(61) - 30)
+		if !seen[v] {
+			seen[v] = true
+			roots = append(roots, mp.NewInt(v))
+		}
+	}
+	return roots
+}
+
+// refT computes T_{i,j} directly from the definition:
+// T_{i,j} = (Ŝ_j·Ŝ_{j-1}···Ŝ_i) / ∏_{m=i}^{j-1} c_m². An independent
+// oracle for the tree's divide-and-conquer computation.
+func refT(s *remseq.Sequence, i, j int) *Matrix2 {
+	ctx := metrics.Ctx{}
+	m := SHat(s, i)
+	div := mp.NewInt(1)
+	for k := i + 1; k <= j; k++ {
+		m = SHat(s, k).Mul(ctx, m)
+		div = new(mp.Int).Mul(div, s.Csq(k-1))
+	}
+	return m.DivExact(ctx, div)
+}
+
+func TestBuildShape(t *testing.T) {
+	root := Build(7)
+	if root.I != 1 || root.J != 7 {
+		t.Fatalf("root = %s", root.Label())
+	}
+	// n = 7 = 2^3-1: perfectly balanced, 4 is the split.
+	if root.K != 4 {
+		t.Fatalf("root split = %d", root.K)
+	}
+	if root.Left.Label() != "[1,3]" || root.Right.Label() != "[5,7]" {
+		t.Fatalf("children = %s, %s", root.Left.Label(), root.Right.Label())
+	}
+	// Every leaf is [i,i]; interval sizes of children sum to parent-1.
+	root.Walk(func(nd *Node) {
+		if nd.IsLeaf() {
+			if nd.Left != nil || nd.Right != nil {
+				t.Errorf("leaf %s has children", nd.Label())
+			}
+			return
+		}
+		sz := nd.Left.Size()
+		if nd.Right != nil {
+			sz += nd.Right.Size()
+		}
+		if sz != nd.Size()-1 {
+			t.Errorf("node %s: child sizes sum to %d, want %d", nd.Label(), sz, nd.Size()-1)
+		}
+	})
+}
+
+func TestBuildSizeTwo(t *testing.T) {
+	root := Build(2)
+	if root.K != 2 || root.Right != nil || root.Left.Label() != "[1,1]" {
+		t.Fatalf("size-2 split: k=%d left=%v right=%v", root.K, root.Left, root.Right)
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if Build(1).Count() != 1 {
+		t.Fatal("n=1 tree")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build(0) did not panic")
+		}
+	}()
+	Build(0)
+}
+
+func TestSplitBalance(t *testing.T) {
+	for i := 1; i <= 20; i++ {
+		for j := i + 1; j <= 25; j++ {
+			k := Split(i, j)
+			if k < i || k > j {
+				t.Fatalf("Split(%d,%d) = %d out of range", i, j, k)
+			}
+			left := k - i  // size of [i, k-1]
+			right := j - k // size of [k+1, j]
+			if left+right != j-i {
+				t.Fatalf("Split(%d,%d): sizes %d+%d", i, j, left, right)
+			}
+			if j-i+1 >= 3 && (left == 0 || right == 0) {
+				t.Fatalf("Split(%d,%d) produced empty child for size ≥ 3", i, j)
+			}
+			if d := left - right; d < -1 || d > 1 {
+				t.Fatalf("Split(%d,%d) unbalanced: %d vs %d", i, j, left, right)
+			}
+		}
+	}
+}
+
+func TestComputeMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + r.Intn(8)
+		p := poly.FromRoots(distinctRoots(r, n)...)
+		s := seqFor(t, p)
+		root := Build(n)
+		ComputeAllSequential(s, metrics.Ctx{}, root)
+		root.Walk(func(nd *Node) {
+			if nd.J == s.N {
+				if !nd.P.Equal(s.F[nd.I-1]) {
+					t.Fatalf("rightmost %s != F_%d", nd.Label(), nd.I-1)
+				}
+				return
+			}
+			want := refT(s, nd.I, nd.J)
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					if !nd.T[a][b].Equal(want[a][b]) {
+						t.Fatalf("T%s[%d][%d] mismatch (n=%d):\n got %s\nwant %s",
+							nd.Label(), a, b, n, nd.T[a][b], want[a][b])
+					}
+				}
+			}
+		})
+		if err := CheckShape(root, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTheorem1Degrees(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	n := 9
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+	root := Build(n)
+	ComputeAllSequential(s, metrics.Ctx{}, root)
+	root.Walk(func(nd *Node) {
+		if nd.P.Degree() != nd.Size() {
+			t.Errorf("%s: degree %d, want %d", nd.Label(), nd.P.Degree(), nd.Size())
+		}
+	})
+}
+
+func TestMatrixEntriesAreConsistentAcrossNodes(t *testing.T) {
+	// Appendix A Eq. 54: T_{i,j}(2,2) = P_{i,j} and T_{i,j}(1,2) = P_{i,j-1}.
+	// So a node [i,j] and the node [i,j-1] (when it exists in another part
+	// of the recursion) would agree; verify against refT entries directly.
+	r := rand.New(rand.NewSource(53))
+	n := 7
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+	// P_{i,i} = Q_i for every i < n.
+	for i := 1; i < n; i++ {
+		ref := refT(s, i, i)
+		if !ref[1][1].Equal(s.Q[i]) {
+			t.Errorf("P_{%d,%d} != Q_%d", i, i, i)
+		}
+	}
+	// Leaves computed by SHat match refT.
+	for i := 1; i < n; i++ {
+		sh := SHat(s, i)
+		ref := refT(s, i, i)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if !sh[a][b].Equal(ref[a][b]) {
+					t.Fatalf("SHat(%d)[%d][%d] != T_{%d,%d}", i, a, b, i, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRootPolynomialIsF0ForRightmost(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	n := 6
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+	root := Build(n)
+	ComputeAllSequential(s, metrics.Ctx{}, root)
+	if !root.P.Equal(p) {
+		t.Fatalf("P_{1,%d} != F_0", n)
+	}
+}
+
+func TestInterleavingViaSturm(t *testing.T) {
+	// Theorem 1(ii): for each non-leaf node, between consecutive roots of
+	// the parent there is exactly one child root. Verify the contrapositive
+	// count form: the union of child roots has exactly size-1 elements and
+	// the parent has `size` real roots — and the parent's polynomial
+	// changes sign across each child root (checked at the exact child
+	// roots when they are rational; here we use integer-rooted F_0 and
+	// check interleaving only for the root node where child roots are
+	// algebraic — so instead use Sturm: the number of parent roots below
+	// each child root position, sampled via the child's own sign changes,
+	// must step by one. We approximate with a fine integer grid check:
+	// counting sign changes of parent and children over [-64, 64].
+	r := rand.New(rand.NewSource(55))
+	n := 8
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+	root := Build(n)
+	ComputeAllSequential(s, metrics.Ctx{}, root)
+
+	// For each node, walk a fine dyadic grid; between consecutive sign
+	// changes of the parent there must be at least one sign change of the
+	// children's product (interleaving), scanned at resolution 2^-6.
+	const scale = 6
+	lo, hi := int64(-64<<scale), int64(64<<scale)
+	step := int64(1) << (scale - 2) // coarse enough to be fast, fine enough for these roots
+	root.Walk(func(nd *Node) {
+		if nd.IsLeaf() || nd.Size() < 3 {
+			return
+		}
+		childProd := nd.Left.P.Clone()
+		if nd.Right != nil {
+			childProd = childProd.Mul(nd.Right.P)
+		}
+		var parentChanges, between []int64
+		prevP, prevC := 0, 0
+		for v := lo; v <= hi; v += step {
+			x := mp.NewInt(v)
+			sp := nd.P.SignAt(x, scale)
+			sc := childProd.SignAt(x, scale)
+			if prevP != 0 && sp != 0 && sp != prevP {
+				parentChanges = append(parentChanges, v)
+			}
+			if prevC != 0 && sc != 0 && sc != prevC {
+				between = append(between, v)
+			}
+			if sp != 0 {
+				prevP = sp
+			}
+			if sc != 0 {
+				prevC = sc
+			}
+		}
+		if len(parentChanges) != nd.Size() {
+			t.Fatalf("%s: found %d parent sign changes, want %d", nd.Label(), len(parentChanges), nd.Size())
+		}
+		// Between consecutive parent roots there must be ≥ 1 child root.
+		for i := 0; i+1 < len(parentChanges); i++ {
+			found := false
+			for _, b := range between {
+				if b > parentChanges[i]-step && b <= parentChanges[i+1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no child root between parent roots near %d and %d",
+					nd.Label(), parentChanges[i], parentChanges[i+1])
+			}
+		}
+	})
+}
+
+func TestCheckShapeReportsMissingPoly(t *testing.T) {
+	root := Build(3)
+	if err := CheckShape(root, 3); err == nil {
+		t.Fatal("CheckShape accepted uncomputed tree")
+	}
+}
+
+func TestWalkPostOrder(t *testing.T) {
+	root := Build(7)
+	seen := map[string]bool{}
+	root.Walk(func(nd *Node) {
+		if nd.Left != nil && !seen[nd.Left.Label()] {
+			t.Fatalf("visited %s before left child", nd.Label())
+		}
+		if nd.Right != nil && !seen[nd.Right.Label()] {
+			t.Fatalf("visited %s before right child", nd.Label())
+		}
+		seen[nd.Label()] = true
+	})
+	if !seen["[1,7]"] {
+		t.Fatal("root not visited")
+	}
+}
+
+func TestTreeMultiplicationCountsRecorded(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	n := 7
+	p := poly.FromRoots(distinctRoots(r, n)...)
+	s := seqFor(t, p)
+	root := Build(n)
+	var c metrics.Counters
+	ComputeAllSequential(s, metrics.Ctx{C: &c}, root)
+	rep := c.Snapshot()
+	if rep.Phases[metrics.PhaseTree].Muls == 0 {
+		t.Fatal("no tree multiplications recorded")
+	}
+	if rep.Phases[metrics.PhaseRemainder].Muls != 0 {
+		t.Fatal("tree work recorded in wrong phase")
+	}
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"realroots/internal/core"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+	"realroots/internal/remseq"
+)
+
+func TestCharPoly01Deterministic(t *testing.T) {
+	a := CharPoly01(7, 10)
+	b := CharPoly01(7, 10)
+	if !a.Equal(b) {
+		t.Fatal("CharPoly01 not deterministic")
+	}
+	c := CharPoly01(8, 10)
+	if a.Equal(c) {
+		t.Fatal("different seeds gave identical polynomials")
+	}
+	if a.Degree() != 10 || !a.Lead().IsOne() {
+		t.Fatalf("degree %d lead %s", a.Degree(), a.Lead())
+	}
+}
+
+func TestCharPolyRealRooted(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := CharPoly01(seed, 12)
+		s, err := remseq.Compute(p.SquarefreePart(), remseq.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestWilkinson(t *testing.T) {
+	w := Wilkinson(5)
+	if w.Degree() != 5 {
+		t.Fatalf("degree %d", w.Degree())
+	}
+	for i := int64(1); i <= 5; i++ {
+		if w.Eval(mp.NewInt(i)).Sign() != 0 {
+			t.Errorf("W_5(%d) != 0", i)
+		}
+	}
+	if w.Eval(mp.NewInt(0)).Sign() == 0 || w.Eval(mp.NewInt(6)).Sign() == 0 {
+		t.Error("extra roots")
+	}
+}
+
+func TestChebyshevKnownValues(t *testing.T) {
+	// T_0..T_4: 1, x, 2x²-1, 4x³-3x, 8x⁴-8x²+1.
+	want := []*poly.Poly{
+		poly.FromInt64s(1),
+		poly.FromInt64s(0, 1),
+		poly.FromInt64s(-1, 0, 2),
+		poly.FromInt64s(0, -3, 0, 4),
+		poly.FromInt64s(1, 0, -8, 0, 8),
+	}
+	for n, w := range want {
+		if got := Chebyshev(n); !got.Equal(w) {
+			t.Errorf("T_%d = %s, want %s", n, got, w)
+		}
+	}
+}
+
+func TestHermiteKnownValues(t *testing.T) {
+	// H_0..H_4: 1, 2x, 4x²-2, 8x³-12x, 16x⁴-48x²+12.
+	want := []*poly.Poly{
+		poly.FromInt64s(1),
+		poly.FromInt64s(0, 2),
+		poly.FromInt64s(-2, 0, 4),
+		poly.FromInt64s(0, -12, 0, 8),
+		poly.FromInt64s(12, 0, -48, 0, 16),
+	}
+	for n, w := range want {
+		if got := Hermite(n); !got.Equal(w) {
+			t.Errorf("H_%d = %s, want %s", n, got, w)
+		}
+	}
+}
+
+func TestLaguerreKnownValues(t *testing.T) {
+	// n!·L_n: 1, 1-x, x²-4x+2, -x³+9x²-18x+6.
+	want := []*poly.Poly{
+		poly.FromInt64s(1),
+		poly.FromInt64s(1, -1),
+		poly.FromInt64s(2, -4, 1),
+		poly.FromInt64s(6, -18, 9, -1),
+	}
+	for n, w := range want {
+		if got := Laguerre(n); !got.Equal(w) {
+			t.Errorf("%d!·L_%d = %s, want %s", n, n, got, w)
+		}
+	}
+}
+
+func TestOrthogonalFamiliesSolvable(t *testing.T) {
+	// Every family member must be accepted end-to-end by the solver.
+	for _, tc := range []struct {
+		name string
+		p    *poly.Poly
+	}{
+		{"chebyshev-9", Chebyshev(9)},
+		{"hermite-8", Hermite(8)},
+		{"laguerre-7", Laguerre(7)},
+		{"wilkinson-10", Wilkinson(10)},
+	} {
+		res, err := core.FindRoots(tc.p, core.Options{Mu: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Roots) != tc.p.Degree() {
+			t.Fatalf("%s: %d roots for degree %d", tc.name, len(res.Roots), tc.p.Degree())
+		}
+		// Roots strictly increasing.
+		for i := 1; i < len(res.Roots); i++ {
+			if res.Roots[i-1].Cmp(res.Roots[i]) > 0 {
+				t.Fatalf("%s: roots out of order", tc.name)
+			}
+		}
+	}
+}
+
+func TestChebyshevRootsInUnitInterval(t *testing.T) {
+	res, err := core.FindRoots(Chebyshev(11), core.Options{Mu: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Roots {
+		v := r.Float64()
+		if v < -1 || v > 1.001 {
+			t.Fatalf("Chebyshev root %v outside [-1, 1]", v)
+		}
+	}
+}
+
+func TestRandomIntRoots(t *testing.T) {
+	p := RandomIntRoots(3, 8, 100)
+	if p.Degree() != 8 || !p.IsSquarefree() {
+		t.Fatalf("degree %d squarefree %v", p.Degree(), p.IsSquarefree())
+	}
+	if !p.Equal(RandomIntRoots(3, 8, 100)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestWithMultiplicities(t *testing.T) {
+	p := WithMultiplicities(4, 3, 20, 3)
+	if p.IsSquarefree() && p.Degree() > 3 {
+		t.Log("all multiplicities drew 1 — acceptable but unusual")
+	}
+	sf := p.SquarefreePart()
+	if sf.Degree() != 3 {
+		t.Fatalf("squarefree part degree %d, want 3", sf.Degree())
+	}
+}
+
+func TestLegendreKnownValues(t *testing.T) {
+	// 2^n·P_n: 1, 2x, 3x²-1, 5x³-3x (×2): 2^2·P_2 = (3x²-1)·2... P_2 =
+	// (3x²-1)/2 → 4·P_2/2... A_2 = 2²·P_2 = 2(3x²-1) = 6x²-2.
+	want := []*poly.Poly{
+		poly.FromInt64s(1),
+		poly.FromInt64s(0, 2),
+		poly.FromInt64s(-2, 0, 6),
+		poly.FromInt64s(0, -12, 0, 20), // 2³·P_3 = 8(5x³-3x)/2 = 20x³-12x
+	}
+	for n, w := range want {
+		if got := Legendre(n); !got.Equal(w) {
+			t.Errorf("2^%d·P_%d = %s, want %s", n, n, got, w)
+		}
+	}
+}
+
+func TestLegendreRootsInUnitInterval(t *testing.T) {
+	res, err := core.FindRoots(Legendre(12), core.Options{Mu: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Roots) != 12 {
+		t.Fatalf("%d roots", len(res.Roots))
+	}
+	for _, r := range res.Roots {
+		v := r.Float64()
+		if v < -1 || v > 1.001 {
+			t.Fatalf("Legendre root %v outside (-1, 1)", v)
+		}
+	}
+}
+
+func TestTridiagonalAlwaysSquarefree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := Tridiagonal(seed, 20, 5)
+		if p.Degree() != 20 || !p.Lead().IsOne() {
+			t.Fatalf("seed %d: degree %d lead %s", seed, p.Degree(), p.Lead())
+		}
+		if !p.IsSquarefree() {
+			t.Fatalf("seed %d: Jacobi charpoly not squarefree", seed)
+		}
+	}
+}
+
+func TestTridiagonalSolvable(t *testing.T) {
+	p := Tridiagonal(3, 25, 4)
+	res, err := core.FindRoots(p, core.Options{Mu: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Roots) != 25 {
+		t.Fatalf("%d eigenvalues", len(res.Roots))
+	}
+	if !p.Equal(Tridiagonal(3, 25, 4)) {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,307 @@
+// Package realroots computes arbitrarily precise approximations to the
+// real roots of integer polynomials whose roots are all real, using the
+// parallel algorithm of Narendran & Tiwari (SPAA 1992), itself a
+// practical version of the Ben-Or–Tiwari NC root-isolation algorithm.
+//
+// Given a degree-n polynomial with integer coefficients and only real
+// roots, FindRoots returns the µ-approximation 2^-µ·⌈2^µ·x⌉ of every
+// distinct root x, computed entirely in exact integer arithmetic — the
+// results are deterministic and bit-for-bit correct at the requested
+// precision, for any worker count.
+//
+// The algorithm isolates roots with a divide-and-conquer tree of
+// interleaving polynomials derived from the polynomial remainder
+// sequence, then solves each one-root interval problem with a hybrid
+// double-exponential-sieve / bisection / Newton method; all stages run
+// on a dynamic task-queue scheduler whose worker count is the Workers
+// option.
+//
+// Quick start:
+//
+//	// p(x) = x² - 2
+//	res, err := realroots.FindRootsInt64([]int64{-2, 0, 1}, &realroots.Options{Precision: 32})
+//	// res.Roots ≈ [-√2, √2] as exact big.Rat values with 32-bit precision
+package realroots
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"realroots/internal/charpoly"
+	"realroots/internal/core"
+	"realroots/internal/dyadic"
+	"realroots/internal/interval"
+	"realroots/internal/metrics"
+	"realroots/internal/mp"
+	"realroots/internal/poly"
+	"realroots/internal/remseq"
+	"realroots/internal/sturm"
+)
+
+// Method selects the interval-refinement strategy.
+type Method int
+
+const (
+	// Hybrid is the paper's method: double-exponential sieve, then
+	// ⌈log₂(10d²)⌉ bisections, then safeguarded Newton. The default.
+	Hybrid Method = iota
+	// Bisection refines by pure bisection (slower at high precision;
+	// useful as a baseline).
+	Bisection
+	// Newton starts safeguarded Newton immediately.
+	Newton
+)
+
+// Options configures a root-finding run. The zero value (and a nil
+// *Options) requests 32 bits of precision on a single worker with the
+// hybrid method.
+type Options struct {
+	// Precision is µ: each returned root is the exact dyadic rational
+	// 2^-µ·⌈2^µ·x⌉ for the true root x. Zero means 32.
+	Precision uint
+	// Workers is the number of parallel workers (the paper's processor
+	// count); 0 or 1 runs sequentially.
+	Workers int
+	// Method selects the interval-refinement strategy.
+	Method Method
+	// SequentialPrecompute forces the remainder-sequence stage to run
+	// sequentially even on a parallel run (the paper's run-time option).
+	SequentialPrecompute bool
+}
+
+func (o *Options) coreOptions() core.Options {
+	opts := core.Options{Mu: 32, Method: interval.MethodHybrid}
+	if o == nil {
+		return opts
+	}
+	if o.Precision > 0 {
+		opts.Mu = o.Precision
+	}
+	opts.Workers = o.Workers
+	opts.SequentialPrecompute = o.SequentialPrecompute
+	switch o.Method {
+	case Bisection:
+		opts.Method = interval.MethodBisection
+	case Newton:
+		opts.Method = interval.MethodNewton
+	}
+	return opts
+}
+
+// ErrNotAllReal reports that the input polynomial has non-real roots,
+// which the algorithm's precondition excludes. (Use a general-purpose
+// isolator, or deflate the complex part, for such inputs.)
+var ErrNotAllReal = errors.New("realroots: polynomial does not have all real roots")
+
+// A Root is one distinct real root at the requested precision.
+type Root struct {
+	// Value is the exact µ-approximation as a rational number with a
+	// power-of-two denominator.
+	Value *big.Rat
+	// Multiplicity is the root's multiplicity in the input polynomial
+	// (1 unless the input had repeated roots).
+	Multiplicity int
+}
+
+// String renders the root's exact rational value.
+func (r Root) String() string { return r.Value.RatString() }
+
+// Float64 returns the nearest float64 to the root approximation.
+func (r Root) Float64() float64 {
+	f, _ := r.Value.Float64()
+	return f
+}
+
+// Decimal renders the root with the given number of decimal digits
+// (truncated toward zero).
+func (r Root) Decimal(digits int) string {
+	return dyadicOf(r.Value).Decimal(digits)
+}
+
+func dyadicOf(v *big.Rat) dyadic.Dyadic {
+	den := v.Denom()
+	scale := uint(den.BitLen() - 1)
+	num := new(mp.Int).SetBig(v.Num())
+	return dyadic.New(num, scale)
+}
+
+// A Result reports the roots and run statistics.
+type Result struct {
+	// Roots holds the distinct real roots in ascending order.
+	Roots []Root
+	// Degree is the input degree; Distinct the number of distinct roots.
+	Degree, Distinct int
+	// Precision is the µ actually used.
+	Precision uint
+	// Elapsed is the total wall time; Precompute and TreeSolve split it
+	// into the paper's two stages.
+	Elapsed, Precompute, TreeSolve time.Duration
+}
+
+// FindRoots computes all distinct real roots of the polynomial with the
+// given coefficients (ascending degree order: coeffs[i] multiplies x^i),
+// with multiplicities. The polynomial must be non-constant and have
+// only real roots; otherwise ErrNotAllReal (or an input-validation
+// error) is returned.
+func FindRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
+	c := make([]*mp.Int, len(coeffs))
+	for i, v := range coeffs {
+		if v == nil {
+			return nil, fmt.Errorf("realroots: nil coefficient at degree %d", i)
+		}
+		c[i] = new(mp.Int).SetBig(v)
+	}
+	return findRoots(poly.New(c...), opts)
+}
+
+// FindRootsInt64 is FindRoots for small coefficients.
+func FindRootsInt64(coeffs []int64, opts *Options) (*Result, error) {
+	return findRoots(poly.FromInt64s(coeffs...), opts)
+}
+
+func findRoots(p *poly.Poly, opts *Options) (*Result, error) {
+	start := time.Now()
+	co := opts.coreOptions()
+	if p.Degree() < 1 {
+		return nil, fmt.Errorf("realroots: polynomial of degree %d has no roots", p.Degree())
+	}
+
+	var roots []Root
+	var stats core.Stats
+	if p.IsSquarefree() {
+		res, err := core.FindRoots(p, co)
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		roots = make([]Root, len(res.Roots))
+		for i, r := range res.Roots {
+			roots[i] = Root{Value: r.Rat(), Multiplicity: 1}
+		}
+		stats = res.Stats
+	} else {
+		rm, err := core.FindRootsWithMultiplicity(p, co)
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		roots = make([]Root, len(rm))
+		for i, r := range rm {
+			roots[i] = Root{Value: r.Root.Rat(), Multiplicity: r.Mult}
+		}
+	}
+	return &Result{
+		Roots:      roots,
+		Degree:     p.Degree(),
+		Distinct:   len(roots),
+		Precision:  co.Mu,
+		Elapsed:    time.Since(start),
+		Precompute: stats.Precompute,
+		TreeSolve:  stats.TreeSolve,
+	}, nil
+}
+
+func wrapErr(err error) error {
+	if errors.Is(err, remseq.ErrNotAllReal) {
+		return ErrNotAllReal
+	}
+	return err
+}
+
+// Eigenvalues computes all eigenvalues of a symmetric integer matrix
+// (given as rows) to the requested precision, via its characteristic
+// polynomial — the paper's own workload. Multiplicities are reported.
+func Eigenvalues(matrix [][]int64, opts *Options) (*Result, error) {
+	m, err := charpoly.FromRows(matrix)
+	if err != nil {
+		return nil, fmt.Errorf("realroots: %w", err)
+	}
+	if !m.IsSymmetric() {
+		return nil, errors.New("realroots: matrix is not symmetric (eigenvalues may be complex)")
+	}
+	return findRoots(charpoly.CharPoly(m), opts)
+}
+
+// Isolate returns, for each distinct real root of the polynomial, an
+// exact open isolating interval (lo, hi) with hi-lo = 2^-µ: lo and hi
+// are consecutive grid rationals and the root lies in (lo, hi]. This is
+// the root-isolation half of the problem, exposed directly.
+func Isolate(coeffs []*big.Int, opts *Options) ([][2]*big.Rat, error) {
+	res, err := FindRoots(coeffs, opts)
+	if err != nil {
+		return nil, err
+	}
+	mu := res.Precision
+	step := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), mu))
+	out := make([][2]*big.Rat, len(res.Roots))
+	for i, r := range res.Roots {
+		lo := new(big.Rat).Sub(r.Value, step)
+		out[i] = [2]*big.Rat{lo, new(big.Rat).Set(r.Value)}
+	}
+	return out, nil
+}
+
+// FindRealRoots computes µ-approximations of the distinct real roots of
+// an arbitrary integer polynomial — the input need not have all roots
+// real. It uses the sequential Sturm-isolation baseline rather than the
+// parallel algorithm (whose precondition is all-real roots), so it is
+// slower at high degree but fully general. Multiplicity information is
+// not computed; every returned root has Multiplicity 1 in its reported
+// slot (repeated roots are collapsed by squarefree reduction).
+func FindRealRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
+	start := time.Now()
+	c := make([]*mp.Int, len(coeffs))
+	for i, v := range coeffs {
+		if v == nil {
+			return nil, fmt.Errorf("realroots: nil coefficient at degree %d", i)
+		}
+		c[i] = new(mp.Int).SetBig(v)
+	}
+	p := poly.New(c...)
+	if p.Degree() < 1 {
+		return nil, fmt.Errorf("realroots: polynomial of degree %d has no roots", p.Degree())
+	}
+	co := opts.coreOptions()
+	ds, err := sturm.FindRoots(p, co.Mu, metrics.Ctx{})
+	if err != nil {
+		return nil, fmt.Errorf("realroots: %w", err)
+	}
+	roots := make([]Root, len(ds))
+	for i, d := range ds {
+		roots[i] = Root{Value: d.Rat(), Multiplicity: 1}
+	}
+	return &Result{
+		Roots:     roots,
+		Degree:    p.Degree(),
+		Distinct:  len(roots),
+		Precision: co.Mu,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// CountRealRoots returns the number of distinct real roots of the
+// polynomial (which need not have all roots real), by Sturm's theorem.
+func CountRealRoots(coeffs []*big.Int) (int, error) {
+	c := make([]*mp.Int, len(coeffs))
+	for i, v := range coeffs {
+		if v == nil {
+			return 0, fmt.Errorf("realroots: nil coefficient at degree %d", i)
+		}
+		c[i] = new(mp.Int).SetBig(v)
+	}
+	p := poly.New(c...)
+	if p.Degree() < 1 {
+		return 0, nil
+	}
+	sf := p.SquarefreePart()
+	if s, err := remseq.Compute(sf, remseq.Options{}); err == nil {
+		return s.RealRootCount(), nil
+	}
+	// The remainder sequence is abnormal for polynomials with complex
+	// roots; fall back to a counting-only Sturm chain.
+	chain, err := sturm.NewChain(sf)
+	if err != nil {
+		return 0, err
+	}
+	return chain.CountAll(), nil
+}
