@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"realroots/internal/poly"
@@ -25,17 +26,25 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polygen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family = flag.String("family", "charpoly", "charpoly, bounded, tridiagonal, wilkinson, chebyshev, hermite, laguerre, legendre, introots")
-		n      = flag.Int("n", 10, "degree")
-		seed   = flag.Int64("seed", 1, "random seed (charpoly, bounded, introots)")
-		span   = flag.Int("span", 100, "root span (introots) / entry bound (bounded)")
-		pretty = flag.Bool("pretty", false, "print the polynomial in symbolic form instead of coefficients")
+		family = fs.String("family", "charpoly", "charpoly, bounded, tridiagonal, wilkinson, chebyshev, hermite, laguerre, legendre, introots")
+		n      = fs.Int("n", 10, "degree")
+		seed   = fs.Int64("seed", 1, "random seed (charpoly, bounded, introots)")
+		span   = fs.Int("span", 100, "root span (introots) / entry bound (bounded)")
+		pretty = fs.Bool("pretty", false, "print the polynomial in symbolic form instead of coefficients")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *n < 1 {
-		fmt.Fprintln(os.Stderr, "polygen: degree must be ≥ 1")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "polygen: degree must be ≥ 1")
+		return 2
 	}
 
 	var p *poly.Poly
@@ -59,15 +68,16 @@ func main() {
 	case "introots":
 		p = workload.RandomIntRoots(*seed, *n, *span)
 	default:
-		fmt.Fprintf(os.Stderr, "polygen: unknown family %q\n", *family)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "polygen: unknown family %q\n", *family)
+		return 2
 	}
 
 	if *pretty {
-		fmt.Println(p)
-		return
+		fmt.Fprintln(stdout, p)
+		return 0
 	}
 	for i := 0; i <= p.Degree(); i++ {
-		fmt.Println(p.Coeff(i))
+		fmt.Fprintln(stdout, p.Coeff(i))
 	}
+	return 0
 }

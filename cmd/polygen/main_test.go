@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runPolygen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestWilkinsonCoefficients(t *testing.T) {
+	// (x-1)(x-2) = x² - 3x + 2, ascending order.
+	code, out, _ := runPolygen(t, "-family", "wilkinson", "-n", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != "2\n-3\n1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	_, a, _ := runPolygen(t, "-family", "charpoly", "-n", "8", "-seed", "3")
+	_, b, _ := runPolygen(t, "-family", "charpoly", "-n", "8", "-seed", "3")
+	if a != b {
+		t.Fatal("same seed produced different output")
+	}
+	if lines := strings.Count(a, "\n"); lines != 9 {
+		t.Fatalf("%d coefficient lines for degree 8", lines)
+	}
+	_, c, _ := runPolygen(t, "-family", "charpoly", "-n", "8", "-seed", "4")
+	if a == c {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestAllFamiliesGenerate(t *testing.T) {
+	for _, fam := range []string{"charpoly", "bounded", "tridiagonal", "wilkinson", "chebyshev", "hermite", "laguerre", "legendre", "introots"} {
+		code, out, errOut := runPolygen(t, "-family", fam, "-n", "6")
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr %q", fam, code, errOut)
+			continue
+		}
+		if strings.Count(out, "\n") != 7 {
+			t.Errorf("%s: output %q", fam, out)
+		}
+	}
+}
+
+func TestPretty(t *testing.T) {
+	code, out, _ := runPolygen(t, "-family", "wilkinson", "-n", "2", "-pretty")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatalf("pretty output %q has no symbolic term", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown family", []string{"-family", "nope"}},
+		{"bad degree", []string{"-n", "0"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	} {
+		code, _, errOut := runPolygen(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}

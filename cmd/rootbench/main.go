@@ -6,6 +6,7 @@
 //	rootbench -exp table2                 # one experiment, quick grid
 //	rootbench -exp all -full              # everything on the paper's full grid
 //	rootbench -exp speedups -degrees 35,50,70 -procs 1,2,4,8,16 -mus 4,32
+//	rootbench -exp conformance            # differential-oracle sweep (≥200 cases)
 //
 // The full grid (degrees up to 70, all µ, all worker counts, 3 seeds)
 // takes a while — the paper's own Table 2 runs alone are hours of 1991
@@ -15,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -23,19 +25,33 @@ import (
 	"realroots/internal/harness"
 )
 
+// simulateNotice is emitted as a header comment at the top of the
+// output (so saved result files are self-describing) whenever the
+// timing experiments run in virtual-time simulation mode.
+const simulateNotice = "# rootbench: multiprocessor experiments use virtual-time simulation (see DESIGN.md); pass -simulate=false for wall-clock timing"
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rootbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
-		full     = flag.Bool("full", false, "use the paper's full grid (degrees 10-70, µ 4-32, P 1-16, 3 seeds)")
-		degrees  = flag.String("degrees", "", "comma-separated degree list (overrides the grid)")
-		mus      = flag.String("mus", "", "comma-separated µ list")
-		procs    = flag.String("procs", "", "comma-separated worker-count list")
-		seeds    = flag.String("seeds", "", "comma-separated seed list")
-		reps     = flag.Int("reps", 0, "timing repetitions per cell (minimum is reported)")
-		simulate = flag.Bool("simulate", runtime.NumCPU() == 1,
+		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
+		full     = fs.Bool("full", false, "use the paper's full grid (degrees 10-70, µ 4-32, P 1-16, 3 seeds)")
+		degrees  = fs.String("degrees", "", "comma-separated degree list (overrides the grid)")
+		mus      = fs.String("mus", "", "comma-separated µ list")
+		procs    = fs.String("procs", "", "comma-separated worker-count list")
+		seeds    = fs.String("seeds", "", "comma-separated seed list")
+		reps     = fs.Int("reps", 0, "timing repetitions per cell (minimum is reported)")
+		checks   = fs.Int("checks", 0, "cap the conformance experiment's case count (0 = full suite)")
+		simulate = fs.Bool("simulate", runtime.NumCPU() == 1,
 			"simulate P virtual processors from the real task graph (for the times/speedups experiments on hosts with few cores; defaults to true on single-core hosts)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := harness.Quick()
 	if *full {
@@ -43,51 +59,73 @@ func main() {
 	}
 	cfg.Simulate = *simulate
 	if *simulate {
-		fmt.Fprintln(os.Stderr, "rootbench: multiprocessor experiments use virtual-time simulation (see DESIGN.md); pass -simulate=false for wall-clock timing")
+		fmt.Fprintln(stdout, simulateNotice)
 	}
 	if *degrees != "" {
-		cfg.Degrees = parseInts(*degrees)
+		v, err := parseInts(*degrees)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
+		cfg.Degrees = v
 	}
 	if *mus != "" {
+		v, err := parseInts(*mus)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
 		var us []uint
-		for _, v := range parseInts(*mus) {
-			us = append(us, uint(v))
+		for _, x := range v {
+			us = append(us, uint(x))
 		}
 		cfg.Mus = us
 	}
 	if *procs != "" {
-		cfg.Procs = parseInts(*procs)
+		v, err := parseInts(*procs)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
+		cfg.Procs = v
 	}
 	if *seeds != "" {
+		v, err := parseInts(*seeds)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
 		var ss []int64
-		for _, v := range parseInts(*seeds) {
-			ss = append(ss, int64(v))
+		for _, x := range v {
+			ss = append(ss, int64(x))
 		}
 		cfg.Seeds = ss
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+	cfg.ConformanceChecks = *checks
 
 	names := []string{*exp}
 	if *exp == "all" {
 		names = harness.Names()
 	}
 	for _, name := range names {
-		run, ok := harness.Experiments[name]
+		runExp, ok := harness.Experiments[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "rootbench: unknown experiment %q (have: %s)\n", name, strings.Join(harness.Names(), ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "rootbench: unknown experiment %q (have: %s)\n", name, strings.Join(harness.Names(), ", "))
+			return 2
 		}
-		if err := run(os.Stdout, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "rootbench: %s: %v\n", name, err)
-			os.Exit(1)
+		if err := runExp(stdout, cfg); err != nil {
+			fmt.Fprintf(stderr, "rootbench: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -96,10 +134,9 @@ func parseInts(s string) []int {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rootbench: bad integer %q\n", part)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad integer %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }

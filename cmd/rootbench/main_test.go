@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// fastArgs keeps a real experiment run small enough for a unit test.
+var fastArgs = []string{"-degrees", "6", "-mus", "4", "-procs", "1", "-seeds", "1"}
+
+func TestSimulateNoticeIsAStdoutHeader(t *testing.T) {
+	args := append([]string{"-exp", "phases", "-simulate"}, fastArgs...)
+	code, out, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.HasPrefix(out, simulateNotice+"\n") {
+		t.Errorf("notice is not the first stdout line:\n%s", out)
+	}
+	if strings.Contains(errOut, "virtual-time") {
+		t.Errorf("notice still on stderr: %q", errOut)
+	}
+	// Result files stay machine-readable: the notice is a # comment.
+	if !strings.HasPrefix(simulateNotice, "# ") {
+		t.Errorf("notice %q is not a comment line", simulateNotice)
+	}
+}
+
+func TestSimulateOffByDefaultOnMulticore(t *testing.T) {
+	if runtime.NumCPU() == 1 {
+		t.Skip("simulation defaults to on for single-core hosts")
+	}
+	args := append([]string{"-exp", "phases"}, fastArgs...)
+	code, out, _ := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "virtual-time") {
+		t.Errorf("notice printed without -simulate:\n%s", out)
+	}
+}
+
+func TestConformanceExperiment(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "conformance", "-checks", "10", "-mus", "4", "-simulate=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "10 cases, 0 mismatches") {
+		t.Errorf("unexpected conformance summary:\n%s", out)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown experiment", []string{"-exp", "nope"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad degrees list", []string{"-exp", "phases", "-degrees", "6,x"}, 2},
+		{"bad mus list", []string{"-exp", "phases", "-mus", "4.5"}, 2},
+	} {
+		code, _, errOut := runBench(t, tc.args...)
+		if code != tc.want {
+			t.Errorf("%s: exit %d, want %d", tc.name, code, tc.want)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2 ,,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,two"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

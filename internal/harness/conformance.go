@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"realroots/internal/oracle"
+	"realroots/internal/oracle/stress"
+	"realroots/internal/workload"
+)
+
+// Conformance runs the differential-oracle sweep: every case from
+// oracle.Cases (all workload families, degrees 2–40, µ ∈
+// {4,8,16,24,32}; ≥ 200 cases unless cfg.ConformanceChecks caps it) is
+// solved by the parallel algorithm and cross-checked bit-for-bit
+// against the Sturm, VCA, and math/big reference oracles; a rotating
+// subset additionally runs the metamorphic laws (translation, 2^k
+// scaling, coefficient reversal, squarefree reduction) and the
+// scheduler-determinism P-sweep. Any mismatch fails the experiment.
+func Conformance(w io.Writer, cfg Config) error {
+	seed := int64(1)
+	if len(cfg.Seeds) > 0 {
+		seed = cfg.Seeds[0]
+	}
+	cases := oracle.Cases(seed, cfg.ConformanceChecks)
+
+	type agg struct {
+		count       int
+		minDeg      int
+		maxDeg      int
+		metamorphic int
+	}
+	byFamily := map[string]*agg{}
+	mismatches := 0
+	for i, c := range cases {
+		a := byFamily[c.Family]
+		if a == nil {
+			a = &agg{minDeg: c.Degree, maxDeg: c.Degree}
+			byFamily[c.Family] = a
+		}
+		a.count++
+		if c.Degree < a.minDeg {
+			a.minDeg = c.Degree
+		}
+		if c.Degree > a.maxDeg {
+			a.maxDeg = c.Degree
+		}
+		// Alternate the subject's worker count so both the sequential
+		// path and the task-queue scheduler face every oracle.
+		workers := 1
+		if i%2 == 1 {
+			workers = 4
+		}
+		if err := oracle.Check(c.P, c.Mu, workers); err != nil {
+			mismatches++
+			fmt.Fprintf(w, "MISMATCH %s deg=%d µ=%d P=%d: %v\n", c.Family, c.Degree, c.Mu, workers, err)
+			continue
+		}
+		// Metamorphic laws on every 8th case (they multiply the solve
+		// count by ~6, so a rotating subset keeps the suite fast while
+		// every family is covered across the sweep).
+		if i%8 == 0 && c.Degree <= 24 {
+			a.metamorphic++
+			if err := oracle.CheckLaws(c.P, c.Mu, workers, seed+int64(i)); err != nil {
+				mismatches++
+				fmt.Fprintf(w, "METAMORPHIC %s deg=%d µ=%d: %v\n", c.Family, c.Degree, c.Mu, err)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "Conformance: algorithm vs {sturm, vca, bigref} oracles + metamorphic laws\n")
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "family\tcases\tdegrees\tmetamorphic\t")
+	names := make([]string, 0, len(byFamily))
+	for name := range byFamily {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byFamily[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d–%d\t%d\t\n", name, a.count, a.minDeg, a.maxDeg, a.metamorphic)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Scheduler-determinism stress: one representative task graph per
+	// precision, P ∈ {1,2,4,8,16} with chaos injection.
+	stressed := 0
+	for _, mu := range cfg.Mus {
+		p := workload.CharPoly01(seed, 14)
+		if err := stress.SweepAndVerify(p, mu, stress.DefaultWorkers, seed+int64(mu)); err != nil {
+			mismatches++
+			fmt.Fprintf(w, "STRESS µ=%d: %v\n", mu, err)
+			continue
+		}
+		stressed++
+	}
+	fmt.Fprintf(w, "stress: %d P-sweeps over P=%v, deterministic\n", stressed, stress.DefaultWorkers)
+
+	fmt.Fprintf(w, "total: %d cases, %d mismatches\n", len(cases), mismatches)
+	if mismatches > 0 {
+		return fmt.Errorf("conformance: %d mismatches", mismatches)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// Experiments split by what their output depends on. Count-based
+// experiments are bit-for-bit reproducible and their goldens are
+// compared exactly; timing experiments have their measured numbers
+// scrubbed so only the table structure and deterministic columns are
+// pinned.
+var (
+	deterministicExps = []string{"conformance", "figs2to5", "fig6", "fig7", "phases", "table1"}
+	timingExps        = []string{"ablations", "fig8", "speedups", "table2", "times"}
+)
+
+var floatRE = regexp.MustCompile(`-?\d+\.\d+(e[+-]\d+)?`)
+
+// scrub replaces measured floating-point values with a placeholder and
+// collapses horizontal whitespace, so tabwriter column widths (which
+// depend on the digits of the timings) don't churn the goldens.
+func scrub(s string) string {
+	s = floatRE.ReplaceAllString(s, "#")
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		lines[i] = strings.Join(strings.Fields(line), " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/harness -run TestGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenDeterministic(t *testing.T) {
+	for _, name := range deterministicExps {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Experiments[name](&buf, tiny()); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name, buf.String())
+		})
+	}
+}
+
+func TestGoldenTimingStructure(t *testing.T) {
+	for _, name := range timingExps {
+		t.Run(name, func(t *testing.T) {
+			cfg := tiny()
+			cfg.Simulate = true // virtual time keeps table shapes stable everywhere
+			var buf bytes.Buffer
+			if err := Experiments[name](&buf, cfg); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name, scrub(buf.String()))
+		})
+	}
+}
+
+func TestGoldenCoverAllExperiments(t *testing.T) {
+	covered := map[string]bool{}
+	for _, name := range deterministicExps {
+		covered[name] = true
+	}
+	for _, name := range timingExps {
+		if covered[name] {
+			t.Errorf("%s listed as both deterministic and timing", name)
+		}
+		covered[name] = true
+	}
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("experiment %s has no golden test", name)
+		}
+	}
+}
+
+func TestScrub(t *testing.T) {
+	in := "n   time(s)\n10  0.123\n15  1.5e+03 done -2.25\n"
+	want := "n time(s)\n10 #\n15 # done #\n"
+	if got := scrub(in); got != want {
+		t.Errorf("scrub = %q, want %q", got, want)
+	}
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// the paper's 20-processor machine. Affects the Times and Speedups
 	// experiments only.
 	Simulate bool
+	// ConformanceChecks caps the differential-oracle case count in the
+	// conformance experiment; 0 runs the full ≥200-case suite. Tests set
+	// a small cap to stay fast.
+	ConformanceChecks int
 }
 
 // Default mirrors the paper's full grid. A complete run takes a while;
@@ -561,16 +565,17 @@ func maxInt(xs []int) int {
 
 // Experiments maps experiment ids (DESIGN.md §3) to runners.
 var Experiments = map[string]func(io.Writer, Config) error{
-	"phases":    Phases,
-	"table1":    Table1,
-	"table2":    Table2,
-	"figs2to5":  MultCounts,
-	"fig6":      BisectionCounts,
-	"fig7":      BisectionBits,
-	"fig8":      VsSturm,
-	"times":     Times,
-	"speedups":  Speedups,
-	"ablations": Ablations,
+	"conformance": Conformance,
+	"phases":      Phases,
+	"table1":      Table1,
+	"table2":      Table2,
+	"figs2to5":    MultCounts,
+	"fig6":        BisectionCounts,
+	"fig7":        BisectionBits,
+	"fig8":        VsSturm,
+	"times":       Times,
+	"speedups":    Speedups,
+	"ablations":   Ablations,
 }
 
 // Names returns the experiment ids in a stable order.

@@ -13,6 +13,10 @@ func tiny() Config {
 		Procs:   []int{1, 2},
 		Seeds:   []int64{1},
 		Reps:    1,
+		// Keep the conformance experiment to a prefix of its suite so
+		// TestAllExperimentsRun stays quick; the full ≥200-case sweep
+		// runs via `rootbench -exp conformance`.
+		ConformanceChecks: 12,
 	}
 }
 

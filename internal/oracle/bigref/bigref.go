@@ -1,0 +1,329 @@
+// Package bigref is an independent reference root finder used as a
+// differential-testing oracle by internal/oracle. It computes the same
+// µ-approximations 2^-µ·⌈2^µ·x⌉ as the production algorithm, but from
+// first principles on a deliberately foreign substrate: every number is
+// a math/big integer or rational, and the package imports nothing from
+// this repository — in particular none of internal/mp, internal/poly,
+// or internal/dyadic — so a bug in the production arithmetic cannot
+// cancel against the same bug here.
+//
+// The method is textbook and favors obviousness over speed: build a
+// Sturm chain by content-reduced pseudo-remainders, then bisect the
+// power-of-two root bound down to the 2^-µ grid, steering by exact
+// sign-variation counts at dyadic rationals. Half-open (a, b] interval
+// semantics (variations computed with zeros skipped) make the final
+// width-2^-µ cell's right endpoint exactly the ⌈⌉-grid approximation.
+package bigref
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// A Poly is an integer polynomial as ascending big.Int coefficients
+// with a non-zero leading coefficient (the zero polynomial is empty).
+type Poly []*big.Int
+
+// NewPoly copies coeffs (ascending degree order) and trims leading
+// zeros.
+func NewPoly(coeffs []*big.Int) Poly {
+	p := make(Poly, len(coeffs))
+	for i, c := range coeffs {
+		p[i] = new(big.Int).Set(c)
+	}
+	return p.trim()
+}
+
+func (p Poly) trim() Poly {
+	for len(p) > 0 && p[len(p)-1].Sign() == 0 {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// Degree returns -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+func (p Poly) lead() *big.Int { return p[len(p)-1] }
+
+func (p Poly) derivative() Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = new(big.Int).Mul(p[i], big.NewInt(int64(i)))
+	}
+	return d.trim()
+}
+
+// content returns the positive GCD of the coefficients (1 for empty).
+func (p Poly) content() *big.Int {
+	g := new(big.Int)
+	for _, c := range p {
+		g.GCD(nil, nil, g, new(big.Int).Abs(c))
+	}
+	if g.Sign() == 0 {
+		g.SetInt64(1)
+	}
+	return g
+}
+
+// primitive divides out the content, preserving signs.
+func (p Poly) primitive() Poly {
+	g := p.content()
+	if g.Cmp(big.NewInt(1)) == 0 {
+		return p
+	}
+	q := make(Poly, len(p))
+	for i, c := range p {
+		q[i] = new(big.Int).Quo(c, g)
+	}
+	return q
+}
+
+// pseudoRem returns a *positive* constant multiple of the remainder of
+// u ÷ v: u is pre-multiplied by lc(v)^e with e = deg u - deg v + 1
+// rounded up to even, so the division is integral and the multiplier
+// is a positive square.
+func pseudoRem(u, v Poly) Poly {
+	du, dv := u.Degree(), v.Degree()
+	e := du - dv + 1
+	if e%2 == 1 {
+		e++
+	}
+	lv := v.lead()
+	r := make(Poly, len(u))
+	m := new(big.Int).Exp(lv, big.NewInt(int64(e)), nil)
+	for i, c := range u {
+		r[i] = new(big.Int).Mul(c, m)
+	}
+	r = r.trim()
+	for r.Degree() >= dv {
+		// r -= (lead(r)/lv) · x^(deg r - dv) · v ; lead(r) is divisible
+		// by lv because r started as lv^e·u and each step preserves it.
+		q := new(big.Int).Quo(r.lead(), lv)
+		shift := r.Degree() - dv
+		for j, vc := range v {
+			r[shift+j].Sub(r[shift+j], new(big.Int).Mul(q, vc))
+		}
+		r = r.trim()
+	}
+	return r
+}
+
+// sturmChain returns the content-reduced Sturm chain of p:
+// S_0 = p, S_1 = p', S_{k+1} = -prem(S_{k-1}, S_k), each divided by its
+// (positive) content. The chain stops at the last non-zero element.
+func sturmChain(p Poly) []Poly {
+	chain := []Poly{p.primitive()}
+	d := p.derivative()
+	if len(d) == 0 {
+		return chain
+	}
+	chain = append(chain, d.primitive())
+	for {
+		r := pseudoRem(chain[len(chain)-2], chain[len(chain)-1])
+		if len(r) == 0 {
+			return chain
+		}
+		for _, c := range r {
+			c.Neg(c)
+		}
+		chain = append(chain, r.primitive())
+	}
+}
+
+// exactDiv returns u/v for polynomials with v | u over ℚ and v
+// primitive (so the quotient is integral by Gauss's lemma).
+func exactDiv(u, v Poly) Poly {
+	r := make(Poly, len(u))
+	for i, c := range u {
+		r[i] = new(big.Int).Set(c)
+	}
+	r = r.trim()
+	q := make(Poly, u.Degree()-v.Degree()+1)
+	for i := range q {
+		q[i] = new(big.Int)
+	}
+	for len(r) != 0 && r.Degree() >= v.Degree() {
+		shift := r.Degree() - v.Degree()
+		qc := new(big.Int).Quo(r.lead(), v.lead())
+		q[shift].Set(qc)
+		for j, vc := range v {
+			r[shift+j].Sub(r[shift+j], new(big.Int).Mul(qc, vc))
+		}
+		r = r.trim()
+	}
+	return q.trim()
+}
+
+// chainFor returns the Sturm chain of p's squarefree part. The gcd of
+// (p, p') is read off the tail of p's own chain; when it is non-trivial
+// the chain is rebuilt from p/gcd, so that a sample point landing
+// exactly on a (formerly repeated) root zeroes only S_0, keeping
+// variation counts well-defined. chain[0] is the primitive squarefree
+// part itself.
+func chainFor(p Poly) []Poly {
+	pp := p.primitive()
+	chain := sturmChain(pp)
+	last := chain[len(chain)-1]
+	if last.Degree() < 1 {
+		return chain
+	}
+	return sturmChain(exactDiv(pp, last).primitive())
+}
+
+// signAt returns the sign of p at the rational n/d with d > 0, exactly:
+// sign(Σ p_i·n^i·d^(deg-i)), by Horner with an incremental power of d.
+func (p Poly) signAt(n, d *big.Int) int {
+	if len(p) == 0 {
+		return 0
+	}
+	acc := new(big.Int).Set(p.lead())
+	dp := big.NewInt(1)
+	for i := len(p) - 2; i >= 0; i-- {
+		dp = new(big.Int).Mul(dp, d)
+		acc.Mul(acc, n)
+		acc.Add(acc, new(big.Int).Mul(p[i], dp))
+	}
+	return acc.Sign()
+}
+
+// SignAtRat returns the exact sign of p at the rational point x.
+func (p Poly) SignAtRat(x *big.Rat) int {
+	if len(p) == 0 {
+		return 0
+	}
+	return p.signAt(x.Num(), x.Denom())
+}
+
+// variations counts the sign variations of the chain at n/d (d > 0),
+// skipping zeros — the convention under which V(a) - V(b) counts roots
+// in the half-open interval (a, b].
+func variations(chain []Poly, n, d *big.Int) int {
+	v, prev := 0, 0
+	for _, s := range chain {
+		sg := s.signAt(n, d)
+		if sg == 0 {
+			continue
+		}
+		if prev != 0 && sg != prev {
+			v++
+		}
+		prev = sg
+	}
+	return v
+}
+
+// variationsAtInf counts the chain's sign variations as x → ±∞ (the
+// leading coefficient's sign, flipped at -∞ for odd degrees).
+func variationsAtInf(chain []Poly, neg bool) int {
+	v, prev := 0, 0
+	for _, s := range chain {
+		sg := s.lead().Sign()
+		if neg && s.Degree()%2 == 1 {
+			sg = -sg
+		}
+		if prev != 0 && sg != prev {
+			v++
+		}
+		prev = sg
+	}
+	return v
+}
+
+// ratNumDen splits a rational into (numerator, positive denominator).
+func ratNumDen(x *big.Rat) (*big.Int, *big.Int) { return x.Num(), x.Denom() }
+
+// CountRootsIn returns the number of distinct real roots of the
+// polynomial in the half-open interval (a, b], computed exactly by
+// Sturm's theorem (a < b required). Repeated roots count once.
+func CountRootsIn(coeffs []*big.Int, a, b *big.Rat) (int, error) {
+	p := NewPoly(coeffs)
+	if p.Degree() < 1 {
+		return 0, errors.New("bigref: polynomial has no roots")
+	}
+	if a.Cmp(b) >= 0 {
+		return 0, fmt.Errorf("bigref: empty interval (%v, %v]", a, b)
+	}
+	chain := chainFor(p)
+	an, ad := ratNumDen(a)
+	bn, bd := ratNumDen(b)
+	return variations(chain, an, ad) - variations(chain, bn, bd), nil
+}
+
+// CountRoots returns the number of distinct real roots of the
+// polynomial over the whole real line.
+func CountRoots(coeffs []*big.Int) (int, error) {
+	p := NewPoly(coeffs)
+	if p.Degree() < 1 {
+		return 0, errors.New("bigref: polynomial has no roots")
+	}
+	chain := chainFor(p)
+	return variationsAtInf(chain, true) - variationsAtInf(chain, false), nil
+}
+
+// rootBoundLog2 returns k with every real root strictly inside
+// (-2^k, 2^k), from the Cauchy bound 1 + max|p_i|/|p_n|.
+func (p Poly) rootBoundLog2() uint {
+	maxBits := 0
+	for _, c := range p[:len(p)-1] {
+		if b := new(big.Int).Abs(c).BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	// |root| < 1 + max|p_i|/|p_n| ≤ 1 + 2^maxBits ≤ 2^(maxBits+1).
+	return uint(maxBits + 1)
+}
+
+// FindRoots returns the µ-approximations 2^-µ·⌈2^µ·x⌉ of all distinct
+// real roots of the polynomial, ascending, one entry per distinct root
+// (entries may repeat when distinct roots round to the same grid
+// point). The polynomial may have repeated roots and non-real roots;
+// only the distinct real roots are reported.
+func FindRoots(coeffs []*big.Int, mu uint) ([]*big.Rat, error) {
+	p := NewPoly(coeffs)
+	if p.Degree() < 1 {
+		return nil, errors.New("bigref: polynomial has no roots")
+	}
+	chain := chainFor(p)
+	k := chain[0].rootBoundLog2()
+
+	one := big.NewInt(1)
+	pow2 := func(e uint) *big.Int { return new(big.Int).Lsh(one, e) }
+	lo := new(big.Rat).SetFrac(new(big.Int).Neg(pow2(k)), one)
+	hi := new(big.Rat).SetFrac(pow2(k), one)
+	step := new(big.Rat).SetFrac(one, pow2(mu))
+
+	vlo := variations(chain, lo.Num(), lo.Denom())
+	vhi := variations(chain, hi.Num(), hi.Denom())
+
+	var out []*big.Rat
+	// Depth-first left-to-right bisection of (lo, hi] keeps the output
+	// sorted. Each frame knows the variation counts at its endpoints, so
+	// one new evaluation per split suffices.
+	var walk func(lo, hi *big.Rat, vlo, vhi int)
+	walk = func(lo, hi *big.Rat, vlo, vhi int) {
+		count := vlo - vhi
+		if count == 0 {
+			return
+		}
+		width := new(big.Rat).Sub(hi, lo)
+		if width.Cmp(step) <= 0 {
+			// Every root x in (lo, hi] has ⌈2^µ·x⌉ = 2^µ·hi.
+			for i := 0; i < count; i++ {
+				out = append(out, new(big.Rat).Set(hi))
+			}
+			return
+		}
+		mid := new(big.Rat).Add(lo, hi)
+		mid.Quo(mid, big.NewRat(2, 1))
+		vmid := variations(chain, mid.Num(), mid.Denom())
+		walk(lo, mid, vlo, vmid)
+		walk(mid, hi, vmid, vhi)
+	}
+	walk(lo, hi, vlo, vhi)
+	return out, nil
+}

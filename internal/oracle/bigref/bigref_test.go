@@ -1,0 +1,194 @@
+package bigref
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func ints(vs ...int64) []*big.Int {
+	out := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func rat(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+// fromRoots builds ∏ (x - r) over big.Int.
+func fromRoots(roots ...int64) []*big.Int {
+	p := []*big.Int{big.NewInt(1)}
+	for _, r := range roots {
+		next := make([]*big.Int, len(p)+1)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		for i, c := range p {
+			next[i+1].Add(next[i+1], c)
+			next[i].Sub(next[i], new(big.Int).Mul(c, big.NewInt(r)))
+		}
+		p = next
+	}
+	return p
+}
+
+func TestIntegerRootsExact(t *testing.T) {
+	// Integer roots are their own µ-approximations at every µ.
+	coeffs := fromRoots(-7, -1, 0, 3, 12)
+	for _, mu := range []uint{1, 4, 32} {
+		got, err := FindRoots(coeffs, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{-7, -1, 0, 3, 12}
+		if len(got) != len(want) {
+			t.Fatalf("µ=%d: %d roots, want %d", mu, len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i].Cmp(rat(w, 1)) != 0 {
+				t.Errorf("µ=%d root %d: got %v want %d", mu, i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestSqrt2Approximation(t *testing.T) {
+	// x² - 2: approximations must be exactly 2^-µ·⌈2^µ·(±√2)⌉.
+	for _, mu := range []uint{4, 8, 16, 24, 32} {
+		got, err := FindRoots(ints(-2, 0, 1), mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("µ=%d: %d roots", mu, len(got))
+		}
+		for i, r := range got {
+			// Verify the ⌈⌉ characterization exactly: (x̃-2^-µ)² < 2 ≤ x̃²
+			// for the positive root, mirrored for the negative one.
+			step := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), mu))
+			lo := new(big.Rat).Sub(r, step)
+			sq := func(x *big.Rat) *big.Rat { return new(big.Rat).Mul(x, x) }
+			two := rat(2, 1)
+			var inCell bool
+			if i == 0 { // negative root: cell is (x̃-s, x̃] with x̃ ≥ x
+				inCell = sq(lo).Cmp(two) > 0 && sq(r).Cmp(two) <= 0
+			} else {
+				inCell = sq(lo).Cmp(two) < 0 && sq(r).Cmp(two) >= 0
+			}
+			if !inCell {
+				t.Errorf("µ=%d: root %v not the grid ceiling of ±√2", mu, r)
+			}
+		}
+	}
+}
+
+func TestRepeatedAndComplexRoots(t *testing.T) {
+	// (x-2)²·(x+1)·(x²+1): distinct real roots {-1, 2} only.
+	// coeffs of (x-2)² = x²-4x+4; times (x+1) = x³-3x²+0x+4... build by
+	// multiplying fromRoots(2,2,-1) by (x²+1).
+	base := fromRoots(2, 2, -1)
+	coeffs := make([]*big.Int, len(base)+2)
+	for i := range coeffs {
+		coeffs[i] = new(big.Int)
+	}
+	for i, c := range base {
+		coeffs[i].Add(coeffs[i], c)
+		coeffs[i+2].Add(coeffs[i+2], c)
+	}
+	got, err := FindRoots(coeffs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Cmp(rat(-1, 1)) != 0 || got[1].Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("roots = %v, want [-1 2]", got)
+	}
+	n, err := CountRoots(coeffs)
+	if err != nil || n != 2 {
+		t.Fatalf("CountRoots = %d, %v", n, err)
+	}
+}
+
+func TestCountRootsInHalfOpen(t *testing.T) {
+	coeffs := fromRoots(-3, 0, 5)
+	for _, tc := range []struct {
+		a, b *big.Rat
+		want int
+	}{
+		{rat(-4, 1), rat(6, 1), 3},
+		{rat(-3, 1), rat(6, 1), 2},  // root at left endpoint excluded
+		{rat(-4, 1), rat(-3, 1), 1}, // root at right endpoint included
+		{rat(0, 1), rat(5, 1), 1},
+		{rat(-1, 2), rat(1, 2), 1},
+		{rat(1, 2), rat(9, 2), 0},
+	} {
+		got, err := CountRootsIn(coeffs, tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("count(%v, %v] = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCloseRootsShareCell(t *testing.T) {
+	// Roots 0 and 1/4 at µ=1 (grid 1/2): approximations 0 and 1/2; at
+	// µ=0 (grid 1) the root 1/4 rounds up to 1 — distinct cells; with
+	// roots 1/8 and 1/4 at µ=1 both round to 1/2: duplicates retained.
+	// p = (8x-1)(4x-1) = 32x² - 12x + 1.
+	got, err := FindRoots(ints(1, -12, 32), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Cmp(rat(1, 2)) != 0 || got[1].Cmp(rat(1, 2)) != 0 {
+		t.Fatalf("roots = %v, want [1/2 1/2]", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := FindRoots(ints(5), 4); err == nil {
+		t.Error("constant accepted")
+	}
+	if _, err := FindRoots(ints(0), 4); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+	if _, err := CountRootsIn(ints(-2, 0, 1), rat(1, 1), rat(1, 1)); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestRandomAgainstEval(t *testing.T) {
+	// Random products of distinct small roots: report exactly those.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(6)
+		seen := map[int64]bool{}
+		var roots []int64
+		for len(roots) < n {
+			v := int64(r.Intn(41) - 20)
+			if !seen[v] {
+				seen[v] = true
+				roots = append(roots, v)
+			}
+		}
+		got, err := FindRoots(fromRoots(roots...), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: %d roots, want %d", trial, len(got), n)
+		}
+		sorted := append([]int64(nil), roots...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		for i, w := range sorted {
+			if got[i].Cmp(rat(w, 1)) != 0 {
+				t.Errorf("trial %d root %d: got %v want %d", trial, i, got[i], w)
+			}
+		}
+	}
+}

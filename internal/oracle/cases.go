@@ -1,0 +1,97 @@
+package oracle
+
+import (
+	"realroots/internal/poly"
+	"realroots/internal/workload"
+)
+
+// A Case is one conformance input: a polynomial from a named workload
+// family plus the precision to check it at.
+type Case struct {
+	Family string
+	Degree int
+	Mu     uint
+	P      *poly.Poly
+}
+
+// mus is the paper's precision grid; conformance cycles through all of
+// it for every (family, degree).
+var mus = []uint{4, 8, 16, 24, 32}
+
+// family describes one workload family's generator and its degree
+// ladder. Degree caps differ because coefficient growth differs:
+// Wilkinson and Laguerre coefficients grow like n!, the orthogonal
+// families like c^n, while tridiagonal/introots stay small — the
+// ladders are chosen so every family is exercised and the full suite
+// spans degrees 2…40.
+type family struct {
+	name    string
+	degrees []int
+	gen     func(seed int64, n int) *poly.Poly
+}
+
+var families = []family{
+	{"charpoly", []int{2, 6, 12, 20, 32}, func(seed int64, n int) *poly.Poly {
+		return workload.CharPoly01(seed, n)
+	}},
+	{"bounded", []int{3, 8, 16, 24}, func(seed int64, n int) *poly.Poly {
+		return workload.CharPolyBounded(seed, n, 5)
+	}},
+	{"tridiagonal", []int{4, 10, 20, 30, 40}, func(seed int64, n int) *poly.Poly {
+		return workload.Tridiagonal(seed, n, 8)
+	}},
+	{"wilkinson", []int{2, 5, 9, 14}, func(_ int64, n int) *poly.Poly {
+		return workload.Wilkinson(n)
+	}},
+	{"chebyshev", []int{3, 7, 13, 21}, func(_ int64, n int) *poly.Poly {
+		return workload.Chebyshev(n)
+	}},
+	{"hermite", []int{2, 6, 11, 18}, func(_ int64, n int) *poly.Poly {
+		return workload.Hermite(n)
+	}},
+	{"laguerre", []int{2, 5, 8, 12}, func(_ int64, n int) *poly.Poly {
+		return workload.Laguerre(n)
+	}},
+	{"legendre", []int{3, 6, 10, 16}, func(_ int64, n int) *poly.Poly {
+		return workload.Legendre(n)
+	}},
+	{"introots", []int{2, 8, 16, 28, 40}, func(seed int64, n int) *poly.Poly {
+		return workload.RandomIntRoots(seed, n, 60)
+	}},
+	{"multiplicities", []int{6, 9, 12}, func(seed int64, n int) *poly.Poly {
+		// n/3 distinct roots of multiplicity ≤ 3: degree varies with the
+		// draw, which is fine — the case records the actual degree.
+		return workload.WithMultiplicities(seed, n/3, 25, 3)
+	}},
+}
+
+// Cases returns the randomized conformance workload: for every family
+// and every rung of its degree ladder, one polynomial per µ in the
+// paper's grid {4, 8, 16, 24, 32}, with the seed varied per case so no
+// polynomial repeats. The full suite has ≥ 200 cases spanning degrees
+// 2…40; budget > 0 truncates to the budget cheapest cases (the list is
+// ordered by degree, so a truncated run keeps every family's small
+// instances).
+func Cases(seed int64, budget int) []Case {
+	var out []Case
+	for _, f := range families {
+		for di, n := range f.degrees {
+			for mi, mu := range mus {
+				s := seed + int64(1000*di+100*mi)
+				p := f.gen(s, n)
+				out = append(out, Case{Family: f.name, Degree: p.Degree(), Mu: mu, P: p})
+			}
+		}
+	}
+	// Order by degree ascending (stable within a degree) so budget
+	// truncation keeps the cheap cases.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Degree < out[j-1].Degree; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if budget > 0 && len(out) > budget {
+		out = out[:budget]
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+
+	"realroots/internal/core"
+	"realroots/internal/dyadic"
+	"realroots/internal/mp"
+	"realroots/internal/oracle/bigref"
+	"realroots/internal/poly"
+)
+
+// The metamorphic laws. Each transforms the input polynomial in a way
+// whose effect on the exact roots — and, crucially, on their 2^-µ grid
+// roundings — is known in closed form, then asserts the algorithm's
+// outputs transform accordingly. Unlike the differential oracles these
+// need no second implementation to be trusted: the laws are theorems.
+//
+//	translation   p(x+c), c ∈ ℤ:  approx_µ(x-c) = approx_µ(x) - c
+//	scaling       p(2^k·x):       approx_µ(x/2^k)·2^k = approx_{µ-k}(x)
+//	reversal      xⁿ·p(1/x):      roots are reciprocals; each reported
+//	                              cell must invert onto a cell of p
+//	                              containing a root (checked exactly
+//	                              with the bigref Sturm chain)
+//	squarefree    p²:             identical distinct-root output
+
+// solve runs the subject algorithm and returns its dyadic roots.
+func solve(p *poly.Poly, mu uint, workers int) ([]dyadic.Dyadic, error) {
+	res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return res.Roots, nil
+}
+
+// TaylorShift returns p(x+c) by Horner: (…(a_n·(x+c) + a_{n-1})·(x+c)…).
+func TaylorShift(p *poly.Poly, c int64) *poly.Poly {
+	n := p.Degree()
+	res := poly.Constant(new(mp.Int).Set(p.Coeff(n)))
+	for i := n - 1; i >= 0; i-- {
+		res = res.MulLinear(mp.NewInt(-c)).Add(poly.Constant(new(mp.Int).Set(p.Coeff(i))))
+	}
+	return res
+}
+
+// Scale2k returns p(2^k·x): coefficient i shifted left by k·i bits.
+func Scale2k(p *poly.Poly, k uint) *poly.Poly {
+	c := make([]*mp.Int, p.Degree()+1)
+	for i := range c {
+		c[i] = new(mp.Int).Lsh(p.Coeff(i), k*uint(i))
+	}
+	return poly.New(c...)
+}
+
+// Reverse returns xⁿ·p(1/x): the coefficient vector reversed. The
+// result has the same degree only when p(0) ≠ 0.
+func Reverse(p *poly.Poly) *poly.Poly {
+	n := p.Degree()
+	c := make([]*mp.Int, n+1)
+	for i := 0; i <= n; i++ {
+		c[i] = new(mp.Int).Set(p.Coeff(n - i))
+	}
+	return poly.New(c...)
+}
+
+// CheckTranslation verifies approx_µ(x-c) = approx_µ(x) - c: the roots
+// of p(x+c) are the roots of p shifted by the integer -c, and integer
+// shifts commute with the ⌈⌉ grid rounding exactly.
+func CheckTranslation(p *poly.Poly, mu uint, c int64, workers int) error {
+	base, err := solve(p, mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: translation base solve: %w", err)
+	}
+	shifted, err := solve(TaylorShift(p, c), mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: translation shifted solve: %w", err)
+	}
+	if len(base) != len(shifted) {
+		return fmt.Errorf("oracle: translation by %d changed root count %d → %d", c, len(base), len(shifted))
+	}
+	dc := dyadic.FromInt64(c)
+	for i := range base {
+		if !shifted[i].Add(dc).Equal(base[i]) {
+			return fmt.Errorf("oracle: translation law broken at root %d: %v + %d != %v (c=%d, µ=%d)",
+				i, shifted[i], c, base[i], c, mu)
+		}
+	}
+	return nil
+}
+
+// CheckScaling verifies approx_µ(x/2^k)·2^k = approx_{µ-k}(x): solving
+// p(2^k·x) at precision µ is solving p at precision µ-k, rescaled.
+// Requires k < µ.
+func CheckScaling(p *poly.Poly, mu, k uint, workers int) error {
+	if k >= mu {
+		return fmt.Errorf("oracle: scaling check needs k < µ (k=%d, µ=%d)", k, mu)
+	}
+	base, err := solve(p, mu-k, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: scaling base solve: %w", err)
+	}
+	scaled, err := solve(Scale2k(p, k), mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: scaling scaled solve: %w", err)
+	}
+	if len(base) != len(scaled) {
+		return fmt.Errorf("oracle: scaling by 2^%d changed root count %d → %d", k, len(base), len(scaled))
+	}
+	for i := range base {
+		if !scaled[i].MulPow2(int(k)).Equal(base[i]) {
+			return fmt.Errorf("oracle: scaling law broken at root %d: %v·2^%d != %v (µ=%d)",
+				i, scaled[i], k, base[i], mu)
+		}
+	}
+	return nil
+}
+
+// CheckReversal verifies the reciprocal law: the roots of xⁿ·p(1/x)
+// are the reciprocals of the roots of p (which must satisfy p(0) ≠ 0).
+// Grid roundings do not commute with x → 1/x, so the check inverts
+// each reported cell (ỹ-2^-µ, ỹ] back through the reciprocal map and
+// asserts — exactly, via the bigref Sturm chain — that p has a root in
+// the image interval. Root counts must match exactly.
+func CheckReversal(p *poly.Poly, mu uint, workers int) error {
+	if p.Coeff(0).IsZero() {
+		return fmt.Errorf("oracle: reversal check needs p(0) != 0")
+	}
+	base, err := solve(p, mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: reversal base solve: %w", err)
+	}
+	rev := Reverse(p)
+	revRoots, err := solve(rev, mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: reversal solve: %w", err)
+	}
+	if len(base) != len(revRoots) {
+		return fmt.Errorf("oracle: reversal changed root count %d → %d", len(base), len(revRoots))
+	}
+	pbig := toBig(p)
+	step := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), mu))
+	one := new(big.Rat).SetInt64(1)
+	for i, y := range revRoots {
+		hi := y.Rat()
+		lo := new(big.Rat).Sub(hi, step)
+		// Cells touching zero invert to unbounded intervals; skip them
+		// (they arise only for roots within 2^-µ of zero).
+		if hi.Sign() == 0 || lo.Sign() == 0 || hi.Sign() != lo.Sign() {
+			continue
+		}
+		// y ∈ (lo, hi] ⇒ 1/y ∈ [1/hi, 1/lo); if 1/hi is itself a root of
+		// p the half-open Sturm count below would miss it, so test it
+		// directly first.
+		a := new(big.Rat).Quo(one, hi)
+		b := new(big.Rat).Quo(one, lo)
+		if bigref.NewPoly(pbig).SignAtRat(a) == 0 {
+			continue
+		}
+		n, err := bigref.CountRootsIn(pbig, a, b)
+		if err != nil {
+			return fmt.Errorf("oracle: reversal count: %w", err)
+		}
+		if n < 1 {
+			return fmt.Errorf("oracle: reversal law broken at root %d: reported cell (%s, %s] of the "+
+				"reversed polynomial inverts to (%s, %s], where p has no root (µ=%d)",
+				i, lo.RatString(), hi.RatString(), a.RatString(), b.RatString(), mu)
+		}
+	}
+	return nil
+}
+
+// CheckSquarefree verifies that squaring the input leaves the
+// distinct-root output bit-identical: the algorithm reduces p² to the
+// same squarefree part as p.
+func CheckSquarefree(p *poly.Poly, mu uint, workers int) error {
+	base, err := solve(p, mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: squarefree base solve: %w", err)
+	}
+	sq, err := solve(p.Mul(p), mu, workers)
+	if err != nil {
+		return fmt.Errorf("oracle: squarefree squared solve: %w", err)
+	}
+	if len(base) != len(sq) {
+		return fmt.Errorf("oracle: squaring changed root count %d → %d", len(base), len(sq))
+	}
+	for i := range base {
+		if !base[i].Equal(sq[i]) {
+			return fmt.Errorf("oracle: squarefree law broken at root %d: %v != %v (µ=%d)", i, sq[i], base[i], mu)
+		}
+	}
+	return nil
+}
+
+// CheckLaws runs every applicable metamorphic law on p at precision mu
+// with deterministically varied parameters drawn from seed.
+func CheckLaws(p *poly.Poly, mu uint, workers int, seed int64) error {
+	c := seed%21 - 10
+	if err := CheckTranslation(p, mu, c, workers); err != nil {
+		return err
+	}
+	if k := uint(seed%3 + 1); k < mu {
+		if err := CheckScaling(p, mu, k, workers); err != nil {
+			return err
+		}
+	}
+	if !p.Coeff(0).IsZero() {
+		if err := CheckReversal(p, mu, workers); err != nil {
+			return err
+		}
+	}
+	if p.Degree() <= 20 {
+		if err := CheckSquarefree(p, mu, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"testing"
+
+	"realroots/internal/dyadic"
+	"realroots/internal/poly"
+	"realroots/internal/workload"
+)
+
+func TestTaylorShift(t *testing.T) {
+	// p(x) = x² - 2, p(x+3) = x² + 6x + 7.
+	got := TaylorShift(poly.FromInt64s(-2, 0, 1), 3)
+	if !got.Equal(poly.FromInt64s(7, 6, 1)) {
+		t.Fatalf("TaylorShift = %v", got)
+	}
+	// Shift by 0 is the identity.
+	p := workload.Chebyshev(6)
+	if !TaylorShift(p, 0).Equal(p) {
+		t.Fatal("TaylorShift by 0 changed the polynomial")
+	}
+	// Shifts compose: p(x+2+5) = (p(x+2))(x+5).
+	if !TaylorShift(p, 7).Equal(TaylorShift(TaylorShift(p, 2), 5)) {
+		t.Fatal("TaylorShift does not compose")
+	}
+}
+
+func TestScale2kAndReverse(t *testing.T) {
+	// p(x) = x² - 2 at 2x: 4x² - 2.
+	if got := Scale2k(poly.FromInt64s(-2, 0, 1), 1); !got.Equal(poly.FromInt64s(-2, 0, 4)) {
+		t.Fatalf("Scale2k = %v", got)
+	}
+	// Reverse of 3x² + 2x + 1 is x² + 2x + 3; involutive when p(0)≠0.
+	p := poly.FromInt64s(1, 2, 3)
+	if got := Reverse(p); !got.Equal(poly.FromInt64s(3, 2, 1)) {
+		t.Fatalf("Reverse = %v", got)
+	} else if !Reverse(got).Equal(p) {
+		t.Fatal("Reverse not involutive")
+	}
+}
+
+func TestMetamorphicLawsHold(t *testing.T) {
+	inputs := []struct {
+		name string
+		p    *poly.Poly
+		mu   uint
+	}{
+		{"sqrt2", poly.FromInt64s(-2, 0, 1), 16},
+		{"wilkinson7", workload.Wilkinson(7), 8},
+		{"hermite8", workload.Hermite(8), 16},
+		{"charpoly8", workload.CharPoly01(2, 8), 24},
+		{"introots10", workload.RandomIntRoots(9, 10, 30), 8},
+	}
+	for _, tc := range inputs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				if err := CheckLaws(tc.p, tc.mu, 1, seed); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMetamorphicLawsParallel(t *testing.T) {
+	p := workload.Tridiagonal(11, 10, 5)
+	if err := CheckLaws(p, 16, 4, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslationDetectsPerturbation(t *testing.T) {
+	// The laws must have teeth: translating by c but comparing as if by
+	// c+1 is the kind of off-by-one they exist to catch.
+	p := workload.Chebyshev(5)
+	if err := CheckTranslation(p, 8, 3, 1); err != nil {
+		t.Fatalf("genuine law failed: %v", err)
+	}
+	// Simulate a broken subject by lying about c.
+	shifted := TaylorShift(p, 3)
+	if err := CheckTranslation(shifted, 8, -2, 1); err == nil {
+		// roots of shifted are roots(p)-3; translating again by -2 and
+		// comparing to shifted's own roots must still pass (the law is
+		// about consistency, not about p). So instead check a direct
+		// mismatch: translation by 1 on x²-2 vs untranslated.
+		t.Log("composed translation consistent, as expected")
+	}
+	// Direct teeth test: compare p(x+1)'s roots against p's with c=2.
+	q := TaylorShift(p, 1)
+	base, _ := solve(p, 8, 1)
+	moved, _ := solve(q, 8, 1)
+	same := len(base) == len(moved)
+	if same {
+		for i := range base {
+			if !moved[i].Add(dyadic.FromInt64(2)).Equal(base[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("wrong translation constant went undetected")
+	}
+}
+
+func TestCheckScalingRejectsBadK(t *testing.T) {
+	if err := CheckScaling(poly.FromInt64s(-2, 0, 1), 4, 4, 1); err == nil {
+		t.Fatal("k >= µ accepted")
+	}
+}
+
+func TestCheckReversalRejectsZeroRoot(t *testing.T) {
+	if err := CheckReversal(poly.FromInt64s(0, 1), 4, 1); err == nil {
+		t.Fatal("p(0) = 0 accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package oracle is the differential + metamorphic conformance
+// subsystem: it cross-checks the parallel algorithm (internal/core)
+// against three independently implemented root finders and against
+// algebraic laws the paper guarantees, asserting bit-exact agreement of
+// the 2^-µ·⌈2^µ·x⌉ grid roundings.
+//
+// The three oracles are
+//
+//   - the sequential Sturm baseline (internal/sturm),
+//   - the sequential Descartes/VCA baseline (internal/vca), and
+//   - a math/big-backed Sturm-bisection reference (bigref) that shares
+//     no code with internal/mp, internal/poly, or internal/dyadic.
+//
+// The first two share the production arithmetic substrate but none of
+// the algorithmic superstructure; the third shares nothing at all, so
+// an arithmetic bug cannot cancel against itself. See DESIGN.md §5 and
+// `rootbench -exp conformance` for the randomized workload sweep, and
+// the sibling package oracle/stress for the scheduler-determinism
+// harness.
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+
+	"realroots/internal/core"
+	"realroots/internal/dyadic"
+	"realroots/internal/metrics"
+	"realroots/internal/oracle/bigref"
+	"realroots/internal/poly"
+	"realroots/internal/sturm"
+	"realroots/internal/vca"
+)
+
+// toBig converts a poly to ascending big.Int coefficients for bigref.
+func toBig(p *poly.Poly) []*big.Int {
+	out := make([]*big.Int, p.Degree()+1)
+	for i := range out {
+		out[i] = p.Coeff(i).ToBig()
+	}
+	return out
+}
+
+// rats converts the algorithm's dyadic output to exact rationals.
+func rats(ds []dyadic.Dyadic) []*big.Rat {
+	out := make([]*big.Rat, len(ds))
+	for i, d := range ds {
+		out[i] = d.Rat()
+	}
+	return out
+}
+
+// diff reports the first index where two exact root lists disagree, or
+// -1 when identical. Lists of different lengths disagree at min length.
+func diff(a, b []*big.Rat) int {
+	for i := range a {
+		if i >= len(b) {
+			return i
+		}
+		if a[i].Cmp(b[i]) != 0 {
+			return i
+		}
+	}
+	if len(b) > len(a) {
+		return len(a)
+	}
+	return -1
+}
+
+func describe(name string, subject, oracle []*big.Rat, i int) error {
+	at := func(rs []*big.Rat) string {
+		if i >= len(rs) {
+			return fmt.Sprintf("<missing, %d roots>", len(rs))
+		}
+		return rs[i].RatString()
+	}
+	return fmt.Errorf("oracle: %s disagrees at root %d: algorithm=%s %s=%s (algorithm has %d roots, %s has %d)",
+		name, i, at(subject), name, at(oracle), len(subject), name, len(oracle))
+}
+
+// Check runs the parallel algorithm on p at precision mu with the given
+// worker count and cross-checks its µ-approximations, entry for entry,
+// against all three oracles. A nil return means bit-exact agreement.
+func Check(p *poly.Poly, mu uint, workers int) error {
+	res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("oracle: algorithm failed: %w", err)
+	}
+	subject := rats(res.Roots)
+
+	sr, err := sturm.FindRoots(p, mu, metrics.Ctx{})
+	if err != nil {
+		return fmt.Errorf("oracle: sturm oracle failed: %w", err)
+	}
+	if i := diff(subject, rats(sr)); i >= 0 {
+		return describe("sturm", subject, rats(sr), i)
+	}
+
+	vr, err := vca.FindRoots(p, mu, metrics.Ctx{})
+	if err != nil {
+		return fmt.Errorf("oracle: vca oracle failed: %w", err)
+	}
+	if i := diff(subject, rats(vr)); i >= 0 {
+		return describe("vca", subject, rats(vr), i)
+	}
+
+	br, err := bigref.FindRoots(toBig(p), mu)
+	if err != nil {
+		return fmt.Errorf("oracle: bigref oracle failed: %w", err)
+	}
+	if i := diff(subject, br); i >= 0 {
+		return describe("bigref", subject, br, i)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"realroots/internal/poly"
+	"realroots/internal/workload"
+)
+
+func TestCheckAgreesOnKnownInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *poly.Poly
+		mu   uint
+	}{
+		{"sqrt2", poly.FromInt64s(-2, 0, 1), 16},
+		{"wilkinson8", workload.Wilkinson(8), 8},
+		{"chebyshev9", workload.Chebyshev(9), 24},
+		{"charpoly10", workload.CharPoly01(3, 10), 32},
+		{"tridiagonal12", workload.Tridiagonal(5, 12, 6), 16},
+		{"multiplicities", workload.WithMultiplicities(2, 3, 10, 3), 8},
+		{"linear", poly.FromInt64s(7, -3), 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				if err := Check(tc.p, tc.mu, workers); err != nil {
+					t.Errorf("workers=%d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckRejectsComplexRoots(t *testing.T) {
+	err := Check(poly.FromInt64s(1, 0, 1), 8, 1) // x²+1
+	if err == nil || !strings.Contains(err.Error(), "algorithm failed") {
+		t.Fatalf("err = %v, want algorithm-failed", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	p := workload.Chebyshev(5)
+	// Sanity for the comparator itself: identical lists pass, a
+	// perturbed list is flagged at the right index.
+	res, err := solve(p, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rats(res)
+	b := rats(res)
+	if i := diff(a, b); i != -1 {
+		t.Fatalf("identical lists diff at %d", i)
+	}
+	b[2] = new(big.Rat).Add(b[2], big.NewRat(1, 3))
+	if i := diff(a, b); i != 2 {
+		t.Fatalf("diff = %d, want 2", i)
+	}
+	if i := diff(a, a[:3]); i != 3 {
+		t.Fatalf("short-list diff = %d, want 3", i)
+	}
+}
+
+func TestCasesShape(t *testing.T) {
+	cases := Cases(1, 0)
+	if len(cases) < 200 {
+		t.Fatalf("full suite has %d cases, want ≥ 200", len(cases))
+	}
+	minDeg, maxDeg := 1<<30, 0
+	fams := map[string]bool{}
+	musSeen := map[uint]bool{}
+	for i, c := range cases {
+		if c.P == nil || c.P.Degree() < 2 && c.Family != "linear" {
+			if c.P.Degree() < 2 {
+				t.Fatalf("case %d (%s) degree %d", i, c.Family, c.P.Degree())
+			}
+		}
+		if c.Degree < minDeg {
+			minDeg = c.Degree
+		}
+		if c.Degree > maxDeg {
+			maxDeg = c.Degree
+		}
+		fams[c.Family] = true
+		musSeen[c.Mu] = true
+		if i > 0 && cases[i-1].Degree > c.Degree {
+			t.Fatal("cases not sorted by degree")
+		}
+	}
+	if minDeg != 2 || maxDeg < 40 {
+		t.Errorf("degree span [%d, %d], want [2, ≥40]", minDeg, maxDeg)
+	}
+	if len(fams) != len(families) {
+		t.Errorf("%d families in suite, want %d", len(fams), len(families))
+	}
+	for _, mu := range mus {
+		if !musSeen[mu] {
+			t.Errorf("µ=%d missing from suite", mu)
+		}
+	}
+	// Budget truncation keeps the prefix.
+	capped := Cases(1, 10)
+	if len(capped) != 10 {
+		t.Fatalf("budget 10 returned %d cases", len(capped))
+	}
+	for i := range capped {
+		if capped[i].Family != cases[i].Family || capped[i].Mu != cases[i].Mu {
+			t.Fatal("budgeted cases are not a prefix of the full suite")
+		}
+	}
+}
+
+func TestConformanceSample(t *testing.T) {
+	// A slice of the real conformance suite end-to-end (the full ≥200
+	// cases run via `rootbench -exp conformance`; CI keeps this short).
+	budget := 25
+	if testing.Short() {
+		budget = 8
+	}
+	for _, c := range Cases(42, budget) {
+		if err := Check(c.P, c.Mu, 1); err != nil {
+			t.Errorf("%s deg=%d µ=%d: %v", c.Family, c.Degree, c.Mu, err)
+		}
+	}
+}

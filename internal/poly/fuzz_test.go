@@ -1,0 +1,114 @@
+package poly
+
+import (
+	"math/big"
+	"testing"
+
+	"realroots/internal/mp"
+)
+
+// fromBytes decodes a byte string into a polynomial with int8
+// coefficients in ascending degree order (the same encoding the
+// top-level FuzzFindRootsSmall uses).
+func fromBytes(b []byte) *Poly {
+	coeffs := make([]*mp.Int, len(b))
+	for i, v := range b {
+		coeffs[i] = mp.NewInt(int64(int8(v)))
+	}
+	return New(coeffs...)
+}
+
+// bigCoeffs converts to math/big for the independent oracle.
+func bigCoeffs(p *Poly) []*big.Int {
+	out := make([]*big.Int, p.Degree()+1)
+	for i := range out {
+		out[i] = p.Coeff(i).ToBig()
+	}
+	return out
+}
+
+// FuzzPolyRingIdentities checks the package's ring operations against a
+// math/big convolution oracle and the ring axioms that don't need an
+// oracle at all: commutativity, distributivity through MulLinear, the
+// derivative product rule, and evaluation being a ring homomorphism.
+func FuzzPolyRingIdentities(f *testing.F) {
+	f.Add([]byte{254, 0, 1}, []byte{1, 1})
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 0, 251})
+	f.Add([]byte{0, 0, 0}, []byte{7})
+	f.Add([]byte{255}, []byte{255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) > 12 || len(bb) > 12 {
+			return
+		}
+		a, b := fromBytes(ab), fromBytes(bb)
+
+		// Mul against schoolbook convolution over math/big.
+		prod := a.Mul(b)
+		if a.IsZero() || b.IsZero() {
+			if !prod.IsZero() {
+				t.Fatalf("product with zero is %v", prod)
+			}
+		} else {
+			ac, bc := bigCoeffs(a), bigCoeffs(b)
+			want := make([]*big.Int, len(ac)+len(bc)-1)
+			for i := range want {
+				want[i] = new(big.Int)
+			}
+			for i, ai := range ac {
+				for j, bj := range bc {
+					want[i+j].Add(want[i+j], new(big.Int).Mul(ai, bj))
+				}
+			}
+			if prod.Degree() != len(want)-1 {
+				t.Fatalf("deg(a·b) = %d, oracle %d (a=%v b=%v)", prod.Degree(), len(want)-1, a, b)
+			}
+			for i, w := range want {
+				if prod.Coeff(i).ToBig().Cmp(w) != 0 {
+					t.Fatalf("coeff %d of a·b = %v, oracle %v (a=%v b=%v)", i, prod.Coeff(i), w, a, b)
+				}
+			}
+		}
+
+		// Commutativity and additive inverse.
+		if !prod.Equal(b.Mul(a)) {
+			t.Fatalf("a·b ≠ b·a for a=%v b=%v", a, b)
+		}
+		if !a.Add(b).Equal(b.Add(a)) {
+			t.Fatalf("a+b ≠ b+a for a=%v b=%v", a, b)
+		}
+		if !a.Sub(b).Add(b).Equal(a) {
+			t.Fatalf("(a-b)+b ≠ a for a=%v b=%v", a, b)
+		}
+		if !a.Add(a.Neg()).IsZero() {
+			t.Fatalf("a + (-a) ≠ 0 for a=%v", a)
+		}
+
+		// Distributivity, with x-r as the second factor (exercises the
+		// dedicated MulLinear path against Mul).
+		r := mp.NewInt(3)
+		linear := New(mp.NewInt(-3), mp.NewInt(1)) // x - 3
+		lhs := a.Add(b).MulLinear(r)
+		rhs := a.Mul(linear).Add(b.Mul(linear))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("(a+b)·(x-3) ≠ a·(x-3)+b·(x-3) for a=%v b=%v", a, b)
+		}
+
+		// Derivative: linear, and satisfies the product rule.
+		if !a.Add(b).Derivative().Equal(a.Derivative().Add(b.Derivative())) {
+			t.Fatalf("(a+b)' ≠ a'+b' for a=%v b=%v", a, b)
+		}
+		if !prod.Derivative().Equal(a.Derivative().Mul(b).Add(a.Mul(b.Derivative()))) {
+			t.Fatalf("(a·b)' ≠ a'b+ab' for a=%v b=%v", a, b)
+		}
+
+		// Evaluation at t=2 is a ring homomorphism.
+		at := mp.NewInt(2)
+		av, bv := a.Eval(at), b.Eval(at)
+		if got := prod.Eval(at); got.Cmp(new(mp.Int).Mul(av, bv)) != 0 {
+			t.Fatalf("(a·b)(2) = %v, want %v·%v (a=%v b=%v)", got, av, bv, a, b)
+		}
+		if got := a.Add(b).Eval(at); got.Cmp(new(mp.Int).Add(av, bv)) != 0 {
+			t.Fatalf("(a+b)(2) = %v, want %v+%v (a=%v b=%v)", got, av, bv, a, b)
+		}
+	})
+}
