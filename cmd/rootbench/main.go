@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"realroots/internal/harness"
 )
@@ -31,10 +35,19 @@ import (
 const simulateNotice = "# rootbench: multiprocessor experiments use virtual-time simulation (see DESIGN.md); pass -simulate=false for wall-clock timing"
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// First SIGINT/SIGTERM cancels the sweep cleanly (partial results
+	// stay valid, see the "# interrupted" footer); a second one hits the
+	// default handler because NotifyContext unregisters after firing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rootbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -57,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *full {
 		cfg = harness.Default()
 	}
+	cfg.Ctx = ctx
 	cfg.Simulate = *simulate
 	if *simulate {
 		fmt.Fprintln(stdout, simulateNotice)
@@ -117,6 +131,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		if err := runExp(stdout, cfg); err != nil {
+			if errors.Is(err, harness.ErrInterrupted) {
+				// The rows flushed so far are complete, valid results;
+				// mark the file as a truncated sweep and use the
+				// conventional 128+SIGINT exit status.
+				fmt.Fprintln(stdout, "# interrupted: sweep stopped early, results above are partial")
+				fmt.Fprintf(stderr, "rootbench: %s: interrupted\n", name)
+				return 130
+			}
 			fmt.Fprintf(stderr, "rootbench: %s: %v\n", name, err)
 			return 1
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -77,6 +78,23 @@ func TestExitCodes(t *testing.T) {
 		if errOut == "" {
 			t.Errorf("%s: no diagnostic on stderr", tc.name)
 		}
+	}
+}
+
+func TestInterruptedSweepFlushesPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "SIGINT" arrives before the first grid cell
+	var out, errBuf bytes.Buffer
+	args := append([]string{"-exp", "table2", "-simulate=false"}, fastArgs...)
+	code := runCtx(ctx, args, &out, &errBuf)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130 (stderr %q)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "# interrupted") {
+		t.Errorf("stdout missing the # interrupted footer:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "interrupted") {
+		t.Errorf("stderr missing the interruption diagnostic: %q", errBuf.String())
 	}
 }
 

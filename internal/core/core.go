@@ -9,8 +9,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +55,28 @@ type Options struct {
 	// CheckTree enables the Theorem 1 structural self-check on the
 	// computed tree (tests and debugging).
 	CheckTree bool
+
+	// Ctx carries cancellation and deadlines into the run; nil means
+	// context.Background(). Cancellation mid-phase drains the scheduler
+	// queue (parallel runs) or aborts at the next per-node / per-interval
+	// checkpoint (sequential runs) and returns ErrCanceled or
+	// ErrDeadline with the partial Stats gathered so far.
+	Ctx context.Context
+	// MaxBitOps bounds the run's arithmetic work: the cumulative
+	// Σ bitlen·bitlen over big-integer multiplications and divisions
+	// (the paper's §4 bit-complexity measure, metered by the metrics
+	// sink). Exceeding it returns ErrBudgetExceeded. 0 means unlimited.
+	// When no Counters are supplied, internal ones are allocated to
+	// meter the budget.
+	MaxBitOps int64
+	// TaskHook, if non-nil, is installed on the scheduler pool
+	// (sched.Pool.SetTaskHook) — the fault-injection point used by
+	// internal/faultinject. Parallel and simulated runs only.
+	TaskHook func(seq int64)
+	// OnPhase, if non-nil, is called once per pipeline phase as it
+	// begins ("precompute", "tree", "interval") — a test hook for
+	// exercising cancellation at exact phase boundaries.
+	OnPhase func(phase string)
 }
 
 // Stats reports timing and scheduling details of a run.
@@ -115,8 +139,16 @@ var (
 // which must be a non-constant integer polynomial all of whose roots
 // are real. Repeated roots are handled by reducing to the squarefree
 // part (the preprocessing counterpart of the paper's §2.3 extension).
+//
+// When the run is cut short (ErrCanceled, ErrDeadline,
+// ErrBudgetExceeded, or an isolated task panic — see IsResilience),
+// the returned Result is non-nil with no Roots but with the partial
+// Stats gathered up to the interruption.
 func FindRoots(p *poly.Poly, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if p.IsZero() {
 		return nil, errors.New("core: zero polynomial")
 	}
@@ -130,13 +162,12 @@ func FindRoots(p *poly.Poly, opts Options) (*Result, error) {
 		squarefree = false
 	}
 	res, err := findRootsSquarefree(ps, opts)
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Degree = p.Degree()
+		res.Squarefree = squarefree
+		res.Stats.Total = time.Since(start)
 	}
-	res.Degree = p.Degree()
-	res.Squarefree = squarefree
-	res.Stats.Total = time.Since(start)
-	return res, nil
+	return res, err
 }
 
 // FindRootsWithMultiplicity computes every distinct real root of p
@@ -171,43 +202,112 @@ func FindRootsWithMultiplicity(p *poly.Poly, opts Options) ([]RootMult, error) {
 }
 
 func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
-	ctx := metrics.Ctx{C: opts.Counters}
+	counters := opts.Counters
+	if opts.MaxBitOps > 0 && counters == nil {
+		counters = &metrics.Counters{} // budget metering needs a sink
+	}
+	mctx := metrics.Ctx{C: counters}
 	n := p.Degree()
+
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	onPhase := opts.OnPhase
+	if onPhase == nil {
+		onPhase = func(string) {}
+	}
+
+	// stop is the sequential-path checkpoint, polled per remainder
+	// iteration, per tree node, and per interval problem. The parallel
+	// path enforces the same conditions through pool cancellation.
+	stop := func() error {
+		select {
+		case <-ctx.Done():
+			return ctxErr(ctx.Err())
+		default:
+		}
+		if counters.BudgetExceeded() {
+			return ErrBudgetExceeded
+		}
+		return nil
+	}
 
 	var pool *sched.Pool
 	switch {
-	case opts.SimulateWorkers > 0 && opts.Workers > 1:
-		return nil, errors.New("core: Workers and SimulateWorkers are mutually exclusive")
 	case opts.SimulateWorkers > 0:
 		pool = sched.NewSimulatedPool(opts.SimulateWorkers)
-		defer pool.Close()
 	case opts.Workers > 1:
 		pool = sched.NewPool(opts.Workers)
+	}
+	if pool != nil {
 		defer pool.Close()
+		if opts.TaskHook != nil {
+			pool.SetTaskHook(opts.TaskHook)
+		}
+		// Forward context cancellation to the pool; the watchdog exits
+		// when the run finishes.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				pool.Cancel(ctxErr(ctx.Err()))
+			case <-watchDone:
+			}
+		}()
+	}
+	if counters != nil && opts.MaxBitOps > 0 {
+		cancelPool := pool // nil on sequential runs: stop() polls instead
+		counters.SetBudget(opts.MaxBitOps, func() {
+			if cancelPool != nil {
+				cancelPool.Cancel(ErrBudgetExceeded)
+			}
+		})
+	}
+
+	// partial packages the stats gathered so far with a resilience
+	// error; precondition errors return a nil Result instead.
+	var precompute, treeSolve time.Duration
+	partial := func(err error) (*Result, error) {
+		if !IsResilience(err) {
+			return nil, err
+		}
+		res := &Result{NStar: n, Stats: Stats{Precompute: precompute, TreeSolve: treeSolve}}
+		if pool != nil {
+			res.Stats.Tasks = pool.Executed()
+		}
+		return res, err
+	}
+
+	if err := stop(); err != nil {
+		return partial(err)
 	}
 
 	// Degree-1 short-circuit: nothing to precompute.
 	if n == 1 {
 		bound := p.RootBound()
-		s := interval.NewSolver(p, nil, bound, opts.Mu, opts.Method, ctx)
+		s := interval.NewSolver(p, nil, bound, opts.Mu, opts.Method, mctx)
 		roots := s.SolveAll()
 		return &Result{Roots: roots, NStar: 1}, nil
 	}
 
 	// Stage 1: remainder and quotient sequences.
+	onPhase("precompute")
 	t0 := time.Now()
-	seqOpts := remseq.Options{Ctx: ctx, Grain: opts.Grain}
+	seqOpts := remseq.Options{Ctx: mctx, Grain: opts.Grain, Stop: stop}
 	if pool != nil && !opts.SequentialPrecompute {
 		seqOpts.Pool = pool
 	}
 	seq, err := remseq.Compute(p, seqOpts)
 	if err != nil {
-		return nil, err
+		precompute = time.Since(t0)
+		return partial(err)
 	}
 	if err := seq.Validate(); err != nil {
 		return nil, err
 	}
-	precompute := time.Since(t0)
+	precompute = time.Since(t0)
 
 	var precomputeTasks int64
 	if pool != nil {
@@ -215,21 +315,31 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	}
 
 	// Stage 2: tree polynomials and interval problems.
+	onPhase("tree")
+	if err := stop(); err != nil {
+		return partial(err)
+	}
 	t1 := time.Now()
 	root := tree.Build(n)
 	bound := p.RootBound()
 	var tally taskTally
+	var onInterval sync.Once
+	intervalPhase := func() { onInterval.Do(func() { onPhase("interval") }) }
 	if pool == nil {
-		solveSequential(seq, root, bound, opts, ctx)
+		err = solveSequential(seq, root, bound, opts, mctx, stop, intervalPhase)
 	} else {
-		solveParallel(pool, seq, root, bound, opts, ctx, &tally)
+		err = solveParallel(pool, seq, root, bound, opts, mctx, &tally, intervalPhase)
+	}
+	if err != nil {
+		treeSolve = time.Since(t1)
+		return partial(err)
 	}
 	if opts.CheckTree {
 		if err := tree.CheckShape(root, n); err != nil {
 			return nil, err
 		}
 	}
-	treeSolve := time.Since(t1)
+	treeSolve = time.Since(t1)
 
 	res := &Result{
 		Roots: root.Roots,
@@ -279,14 +389,34 @@ func mergeRoots(nd *tree.Node) []dyadic.Dyadic {
 }
 
 // solveSequential runs the whole second stage in post-order on the
-// calling goroutine.
-func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, ctx metrics.Ctx) {
+// calling goroutine, polling stop between nodes and between interval
+// problems so cancellation and budget exhaustion abort mid-phase.
+func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, mctx metrics.Ctx, stop func() error, intervalPhase func()) error {
+	var werr error
 	root.Walk(func(nd *tree.Node) {
-		tree.ComputePoly(seq, ctx, nd)
+		if werr != nil {
+			return
+		}
+		if werr = stop(); werr != nil {
+			return
+		}
+		tree.ComputePoly(seq, mctx, nd)
 		ys := mergeRoots(nd)
-		s := interval.NewSolver(nd.P, ys, bound, opts.Mu, opts.Method, ctx)
-		nd.Roots = s.SolveAll()
+		s := interval.NewSolver(nd.P, ys, bound, opts.Mu, opts.Method, mctx)
+		for i := 0; i < s.NumPoints(); i++ {
+			s.EvalPoint(i)
+		}
+		intervalPhase()
+		roots := make([]dyadic.Dyadic, s.NumRoots())
+		for i := range roots {
+			if werr = stop(); werr != nil {
+				return
+			}
+			roots[i] = s.SolveInterval(i)
+		}
+		nd.Roots = roots
 	})
+	return werr
 }
 
 // taskTally counts executed tree-stage tasks per Fig. 3.2 kind.
@@ -321,7 +451,11 @@ type nodeState struct {
 // A node is complete when all its INTERVAL tasks are; completion
 // signals the parent's SORT gate. COMPUTEPOLY completion signals the
 // parent's COMPUTEPOLY gate.
-func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, ctx metrics.Ctx, tally *taskTally) {
+//
+// On cancellation or task failure the queue is drained without running
+// (sched.Pool semantics): gates stop firing, Wait still returns, and
+// the pool's first-failure error is reported instead of the roots.
+func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, ctx metrics.Ctx, tally *taskTally, intervalPhase func()) error {
 	n := seq.N
 	states := make(map[*tree.Node]*nodeState)
 	done := make(chan struct{})
@@ -377,6 +511,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 				for i := 0; i < d; i++ {
 					i := i
 					pool.Submit(func() { // INTERVAL task
+						intervalPhase()
 						tally.interval.Add(1)
 						roots[i] = st.solver.SolveInterval(i)
 						intervalGate.Done()
@@ -480,5 +615,13 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 	})
 
 	pool.Wait()
+	if err := pool.Err(); err != nil {
+		// Canceled or failed: the drained queue left gates unfired, so
+		// done may never close. The partial node results are abandoned.
+		return err
+	}
+	// Healthy drain: the root's completion closed done inside the last
+	// task, strictly before Wait returned.
 	<-done
+	return nil
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"realroots/internal/sched"
+)
+
+// Typed resilience errors. A run that is cut short returns exactly one
+// of these (possibly wrapped), alongside a partial Result carrying the
+// Stats gathered so far. The messages carry the public package's prefix
+// because package realroots re-exports these values unchanged.
+var (
+	// ErrCanceled reports that the run's context was canceled.
+	ErrCanceled = errors.New("realroots: run canceled")
+	// ErrDeadline reports that the run's deadline or timeout expired.
+	ErrDeadline = errors.New("realroots: deadline exceeded")
+	// ErrBudgetExceeded reports that the run spent more than
+	// Options.MaxBitOps bit operations.
+	ErrBudgetExceeded = errors.New("realroots: bit-operation budget exceeded")
+	// ErrInvalidOptions is matched (via errors.Is) by every
+	// *OptionError returned from Options.Validate.
+	ErrInvalidOptions = errors.New("realroots: invalid options")
+)
+
+// MaxMu is the largest accepted output precision. µ is a shift count:
+// beyond ~10⁶ the scaled evaluations allocate multi-megabit integers
+// per coefficient and a typo'd precision would look like a hang, so
+// Validate rejects it up front instead.
+const MaxMu = 1 << 20
+
+// An OptionError reports an invalid Options field. It matches
+// ErrInvalidOptions via errors.Is.
+type OptionError struct {
+	Field  string // offending Options field
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("realroots: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// Is reports target == ErrInvalidOptions, so callers can test the
+// class without naming the struct type.
+func (e *OptionError) Is(target error) bool { return target == ErrInvalidOptions }
+
+// Validate checks the options for contradictions the run would
+// otherwise surface as late panics or silent misbehavior. FindRoots
+// calls it on entry; it is exported for callers that construct Options
+// programmatically.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return &OptionError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", o.Workers)}
+	}
+	if o.SimulateWorkers < 0 {
+		return &OptionError{Field: "SimulateWorkers", Reason: fmt.Sprintf("negative virtual worker count %d", o.SimulateWorkers)}
+	}
+	if o.Workers > 0 && o.SimulateWorkers > 0 {
+		return &OptionError{Field: "SimulateWorkers", Reason: "mutually exclusive with Workers"}
+	}
+	if o.Mu > MaxMu {
+		return &OptionError{Field: "Mu", Reason: fmt.Sprintf("precision %d exceeds MaxMu = %d", o.Mu, MaxMu)}
+	}
+	if o.MaxBitOps < 0 {
+		return &OptionError{Field: "MaxBitOps", Reason: fmt.Sprintf("negative budget %d", o.MaxBitOps)}
+	}
+	return nil
+}
+
+// IsResilience reports whether err is one of the typed run-interruption
+// outcomes: cancellation, deadline, budget exhaustion, or an isolated
+// task panic. Precondition violations (ErrNotAllReal, validation
+// errors) are not resilience errors — retrying cannot help them.
+func IsResilience(err error) bool {
+	var pe *sched.PanicError
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.As(err, &pe)
+}
+
+// ctxErr maps a context error to the typed taxonomy.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}

@@ -35,6 +35,9 @@ func Conformance(w io.Writer, cfg Config) error {
 	byFamily := map[string]*agg{}
 	mismatches := 0
 	for i, c := range cases {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
 		a := byFamily[c.Family]
 		if a == nil {
 			a = &agg{minDeg: c.Degree, maxDeg: c.Degree}

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,6 +47,23 @@ type Config struct {
 	// conformance experiment; 0 runs the full ≥200-case suite. Tests set
 	// a small cap to stay fast.
 	ConformanceChecks int
+	// Ctx, if non-nil, interrupts the sweep: once it is done, every
+	// experiment returns ErrInterrupted at its next grid cell, and the
+	// in-flight solve itself is canceled through the solver's own
+	// cancellation path. cmd/rootbench wires SIGINT to this.
+	Ctx context.Context
+}
+
+// ErrInterrupted reports that an experiment stopped early because
+// Config.Ctx was done. The rows already written are valid results.
+var ErrInterrupted = errors.New("harness: interrupted")
+
+// interrupted is the per-cell poll every experiment loop runs.
+func (cfg Config) interrupted() error {
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return ErrInterrupted
+	}
+	return nil
 }
 
 // Default mirrors the paper's full grid. A complete run takes a while;
@@ -105,6 +124,9 @@ func (cfg Config) run(p *poly.Poly, mu uint, workers int, counters *metrics.Coun
 	best := time.Duration(math.MaxInt64)
 	var res *core.Result
 	for r := 0; r < reps; r++ {
+		if err := cfg.interrupted(); err != nil {
+			return 0, nil, err
+		}
 		if counters != nil && r == 0 {
 			counters.Reset()
 		}
@@ -113,8 +135,11 @@ func (cfg Config) run(p *poly.Poly, mu uint, workers int, counters *metrics.Coun
 			cnt = counters
 		}
 		start := time.Now()
-		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt})
+		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt, Ctx: cfg.Ctx})
 		if err != nil {
+			if errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrDeadline) {
+				return 0, nil, ErrInterrupted
+			}
 			return 0, nil, err
 		}
 		if d := time.Since(start); d < best {
@@ -138,6 +163,9 @@ func (cfg Config) avgSeconds(n int, mu uint, workers int) (float64, error) {
 				reps = 1
 			}
 			for r := 0; r < reps; r++ {
+				if err := cfg.interrupted(); err != nil {
+					return 0, err
+				}
 				res, err := core.FindRoots(p, core.Options{Mu: mu, SimulateWorkers: workers})
 				if err != nil {
 					return 0, fmt.Errorf("n=%d µ=%d P=%d seed=%d: %w", n, mu, workers, seed, err)
@@ -378,6 +406,9 @@ func VsSturm(w io.Writer, cfg Config) error {
 		}
 		var sturmT, vcaT float64
 		for _, seed := range cfg.Seeds {
+			if err := cfg.interrupted(); err != nil {
+				return err
+			}
 			p := Instance(seed, n)
 			start := time.Now()
 			if _, err := sturm.FindRoots(p, mu, metrics.Ctx{}); err != nil {
@@ -501,6 +532,9 @@ func Ablations(w io.Writer, cfg Config) error {
 	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "method\ttime(s)\trefinement evals\t")
 	for _, m := range []interval.Method{interval.MethodHybrid, interval.MethodBisection, interval.MethodNewton} {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
 		var c metrics.Counters
 		start := time.Now()
 		if _, err := core.FindRoots(p, core.Options{Mu: mu, Method: m, Counters: &c}); err != nil {
@@ -518,6 +552,9 @@ func Ablations(w io.Writer, cfg Config) error {
 	tw = tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "multiplier\ttime(s)\t")
 	for _, kar := range []bool{false, true} {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
 		mp.UseKaratsuba = kar
 		start := time.Now()
 		if _, err := core.FindRoots(p, core.Options{Mu: mu}); err != nil {
@@ -540,6 +577,9 @@ func Ablations(w io.Writer, cfg Config) error {
 	tw = tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "precompute\ttotal(s)\tprecompute(s)\t")
 	for _, seqPre := range []bool{false, true} {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
 		res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: maxInt(cfg.Procs), SequentialPrecompute: seqPre})
 		if err != nil {
 			return err

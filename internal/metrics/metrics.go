@@ -69,6 +69,50 @@ type Counters struct {
 	divBits [NumPhases]atomic.Int64 // Σ bitlen(x)·bitlen(y) over divisions
 	add     [NumPhases]atomic.Int64 // number of additions/subtractions
 	evals   [NumPhases]atomic.Int64 // number of full polynomial evaluations
+
+	// Budget enforcement (see SetBudget): bitOps aggregates
+	// mulBits+divBits across all phases so the limit check is one
+	// atomic load per operation.
+	bitOps   atomic.Int64
+	budget   atomic.Int64 // 0 = unlimited
+	tripped  atomic.Bool
+	onExceed func() // fired once, by the operation that crosses the limit
+}
+
+// SetBudget arms a bit-operation budget: once the cumulative
+// Σ bitlen·bitlen over multiplications and divisions (BitOps) exceeds
+// maxBits, onExceed (if non-nil) fires exactly once and BudgetExceeded
+// reports true. maxBits ≤ 0 disarms the budget. Call before the run
+// starts — the callback is read concurrently by recording goroutines.
+func (c *Counters) SetBudget(maxBits int64, onExceed func()) {
+	c.onExceed = onExceed
+	c.budget.Store(maxBits)
+}
+
+// BitOps returns the cumulative Σ bitlen·bitlen over all
+// multiplications and divisions in every phase — the paper's
+// bit-complexity measure (§4), aggregated.
+func (c *Counters) BitOps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bitOps.Load()
+}
+
+// BudgetExceeded reports whether the budget armed by SetBudget has been
+// exceeded. It is nil-safe and stays true until Reset.
+func (c *Counters) BudgetExceeded() bool {
+	return c != nil && c.tripped.Load()
+}
+
+// noteBits accumulates one operation's bit cost and trips the budget.
+func (c *Counters) noteBits(bits int64) {
+	total := c.bitOps.Add(bits)
+	if lim := c.budget.Load(); lim > 0 && total > lim {
+		if c.tripped.CompareAndSwap(false, true) && c.onExceed != nil {
+			c.onExceed()
+		}
+	}
 }
 
 // AddMul records one multiplication of xbits-by-ybits operands in phase p.
@@ -77,7 +121,9 @@ func (c *Counters) AddMul(p Phase, xbits, ybits int) {
 		return
 	}
 	c.mul[p].Add(1)
-	c.mulBits[p].Add(int64(xbits) * int64(ybits))
+	bits := int64(xbits) * int64(ybits)
+	c.mulBits[p].Add(bits)
+	c.noteBits(bits)
 }
 
 // AddDiv records one division in phase p.
@@ -86,7 +132,9 @@ func (c *Counters) AddDiv(p Phase, xbits, ybits int) {
 		return
 	}
 	c.div[p].Add(1)
-	c.divBits[p].Add(int64(xbits) * int64(ybits))
+	bits := int64(xbits) * int64(ybits)
+	c.divBits[p].Add(bits)
+	c.noteBits(bits)
 }
 
 // AddAdd records one addition or subtraction in phase p.
@@ -105,7 +153,8 @@ func (c *Counters) AddEval(p Phase) {
 	c.evals[p].Add(1)
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter and re-arms the budget (the limit set by
+// SetBudget is kept; the exceeded state clears).
 func (c *Counters) Reset() {
 	if c == nil {
 		return
@@ -118,6 +167,8 @@ func (c *Counters) Reset() {
 		c.add[p].Store(0)
 		c.evals[p].Store(0)
 	}
+	c.bitOps.Store(0)
+	c.tripped.Store(false)
 }
 
 // PhaseReport is an immutable snapshot of one phase's counters.

@@ -151,3 +151,60 @@ func TestZeroCtxWorks(t *testing.T) {
 		t.Error("zero ctx Mul")
 	}
 }
+
+func TestBitOpsAggregate(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseTree, 10, 20)    // 200 bits
+	c.AddDiv(PhaseRemainder, 8, 4) // 32 bits
+	c.AddAdd(PhaseSort)            // adds do not count
+	if got := c.BitOps(); got != 232 {
+		t.Errorf("BitOps = %d, want 232", got)
+	}
+	var nilC *Counters
+	if nilC.BitOps() != 0 || nilC.BudgetExceeded() {
+		t.Error("nil counters budget state not zero")
+	}
+}
+
+func TestBudgetTripsOnceAtLimit(t *testing.T) {
+	var c Counters
+	fired := 0
+	c.SetBudget(100, func() { fired++ })
+	c.AddMul(PhaseTree, 10, 10) // total 100: not exceeded (limit is inclusive)
+	if c.BudgetExceeded() {
+		t.Fatal("tripped at exactly the limit")
+	}
+	c.AddMul(PhaseTree, 1, 1) // total 101: exceeded
+	if !c.BudgetExceeded() {
+		t.Fatal("did not trip past the limit")
+	}
+	c.AddDiv(PhaseTree, 50, 50)
+	if fired != 1 {
+		t.Fatalf("onExceed fired %d times, want 1", fired)
+	}
+}
+
+func TestBudgetUnlimitedByDefault(t *testing.T) {
+	var c Counters
+	c.AddMul(PhaseTree, 1<<15, 1<<15)
+	if c.BudgetExceeded() {
+		t.Fatal("tripped without a budget")
+	}
+}
+
+func TestResetRearmsBudget(t *testing.T) {
+	var c Counters
+	c.SetBudget(10, nil)
+	c.AddMul(PhaseTree, 100, 100)
+	if !c.BudgetExceeded() {
+		t.Fatal("did not trip")
+	}
+	c.Reset()
+	if c.BudgetExceeded() || c.BitOps() != 0 {
+		t.Fatal("Reset did not clear budget state")
+	}
+	c.AddMul(PhaseTree, 100, 100)
+	if !c.BudgetExceeded() {
+		t.Fatal("budget not re-armed after Reset")
+	}
+}

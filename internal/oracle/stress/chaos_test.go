@@ -1,0 +1,73 @@
+package stress
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"realroots/internal/faultinject"
+	"realroots/internal/workload"
+)
+
+// TestChaosSweep is the resilience contract as an executable check:
+// many seed-derived fault plans, each replayed at P ∈ {1,2,4,8}, and
+// every run must terminate promptly with bit-exact roots or a typed
+// resilience error. Run with -race in CI (the chaos job).
+func TestChaosSweep(t *testing.T) {
+	seeds := int64(56)
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(faultinject.New(seed).String(), func(t *testing.T) {
+			t.Parallel()
+			// Vary the instance with the seed so the task graphs (and
+			// hence which task a fault lands on) differ across plans.
+			p := workload.CharPoly01(seed, 12)
+			if err := ChaosSweepAndVerify(p, 16, seed); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChaosRunHonorsBudget pins one plan kind end to end: a starved
+// budget must produce a typed failure at every worker count.
+func TestChaosRunHonorsBudget(t *testing.T) {
+	p := workload.Wilkinson(12)
+	plan := faultinject.Plan{PanicAt: -1, CancelAt: -1, MaxBitOps: 800}
+	for _, w := range ChaosWorkers {
+		res, err := ChaosRun(p, 16, w, plan)
+		if !TypedFailure(err) {
+			t.Fatalf("P=%d: err = %v, want typed budget failure", w, err)
+		}
+		if res == nil || len(res.Roots) != 0 {
+			t.Fatalf("P=%d: partial result = %+v", w, res)
+		}
+	}
+}
+
+// TestChaosNoGoroutineLeak replays a mixed batch of plans and then
+// requires the goroutine count to settle back: no abandoned workers or
+// watchdogs from any failure mode.
+func TestChaosNoGoroutineLeak(t *testing.T) {
+	p := workload.CharPoly01(3, 10)
+	before := runtime.NumGoroutine()
+	for seed := int64(100); seed < 120; seed++ {
+		if _, err := ChaosRun(p, 16, 4, faultinject.New(seed)); err != nil && !TypedFailure(err) {
+			t.Fatalf("seed %d: untyped failure: %v", seed, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

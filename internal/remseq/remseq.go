@@ -60,6 +60,10 @@ type Options struct {
 	Grain int
 	// Ctx records the arithmetic in the remainder phase.
 	Ctx metrics.Ctx
+	// Stop, if non-nil, is polled once per sequence iteration; a
+	// non-nil return aborts Compute with that error (cancellation,
+	// deadline, budget — the resilience layer's sequential-path hook).
+	Stop func() error
 }
 
 // Compute returns the remainder sequence of p, which must be squarefree
@@ -82,6 +86,11 @@ func Compute(p *poly.Poly, opts Options) (*Sequence, error) {
 
 	one := mp.NewInt(1)
 	for i := 1; i < n; i++ {
+		if opts.Stop != nil {
+			if err := opts.Stop(); err != nil {
+				return nil, err
+			}
+		}
 		ci := f[i][n-i]      // c_i
 		ci1 := f[i-1][n-i+1] // c_{i-1}
 		if ci.IsZero() {
@@ -119,7 +128,12 @@ func Compute(p *poly.Poly, opts Options) (*Sequence, error) {
 			}
 		}
 		if opts.Pool != nil {
-			opts.Pool.ParallelFor(n-i, opts.Grain, body)
+			// On a canceled pool some iterations were drained (and a
+			// straggler may still be writing next); abort without
+			// reading the partial row.
+			if err := opts.Pool.ParallelFor(n-i, opts.Grain, body); err != nil {
+				return nil, err
+			}
 		} else {
 			for j := 0; j < n-i; j++ {
 				body(j)

@@ -8,29 +8,60 @@
 // Tasks must never block waiting for other tasks: dependencies are
 // expressed with After/NewGate continuation counters, exactly like the
 // per-node status records the paper uses for synchronization (§3.2).
+//
+// Unlike the paper's dedicated processors, pool workers survive task
+// failures: a panicking task is recovered into a first-failure error
+// (Err) and cancels the pool, after which the remaining queue is
+// drained without executing — Wait always returns, Close never leaks a
+// worker, and the caller observes one typed error instead of a crashed
+// process or a hung Wait.
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// ErrPoolCanceled is the error recorded by Cancel(nil).
+var ErrPoolCanceled = errors.New("sched: pool canceled")
+
+// A PanicError is the first-failure error recorded when a task panics.
+// The worker that ran the task survives; the panic value and stack are
+// preserved here for diagnosis.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task panicked: %v", e.Value)
+}
+
 // A Pool is a fixed set of worker goroutines draining a dynamic FIFO
 // task queue. Create one with NewPool and release it with Close.
 type Pool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []queued
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []queued
+	closed   bool
+	taskHook func(seq int64) // fault-injection / tracing hook (see SetTaskHook)
 
 	outstanding atomic.Int64 // queued + running tasks
 	idleMu      sync.Mutex
 	idleCond    *sync.Cond
 
 	workers  int
-	executed atomic.Int64 // total tasks run (diagnostics)
+	executed atomic.Int64 // total tasks run to completion (diagnostics)
+	seq      atomic.Int64 // task sequence numbers handed to the hook
+
+	cancelCh   chan struct{} // closed on first Cancel/failure
+	cancelOnce sync.Once
+	failMu     sync.Mutex
+	failErr    error // first failure; nil while healthy
 
 	sim *simState // non-nil in simulation mode (see sim.go)
 }
@@ -47,7 +78,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		panic(fmt.Sprintf("sched: invalid worker count %d", workers))
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, cancelCh: make(chan struct{})}
 	p.cond = sync.NewCond(&p.mu)
 	p.idleCond = sync.NewCond(&p.idleMu)
 	for i := 0; i < workers; i++ {
@@ -59,8 +90,66 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Executed returns the number of tasks the pool has completed.
+// Executed returns the number of tasks the pool has run to completion
+// (panicked and drained-after-cancel tasks are not counted).
 func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// SetTaskHook installs a hook invoked at the start of every task with a
+// monotonically increasing sequence number (0, 1, 2, …, in execution
+// order). It is the fault-injection point: the hook may sleep to delay
+// the task, panic (recovered like any task panic), or trigger external
+// cancellation. Install it before submitting work.
+func (p *Pool) SetTaskHook(h func(seq int64)) {
+	p.mu.Lock()
+	p.taskHook = h
+	p.mu.Unlock()
+}
+
+// Cancel records err as the pool's failure (first failure wins; nil
+// means ErrPoolCanceled) and cancels the pool: queued tasks are drained
+// without executing, and Wait returns once running tasks finish. The
+// pool stays structurally usable (Close still works); it only refuses
+// to start new work.
+func (p *Pool) Cancel(err error) {
+	if err == nil {
+		err = ErrPoolCanceled
+	}
+	p.fail(err)
+}
+
+// fail records the first failure and cancels the pool. The error is
+// published before the cancellation channel closes, so any observer of
+// Canceled()/Done() sees a non-nil Err.
+func (p *Pool) fail(err error) {
+	p.failMu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.failMu.Unlock()
+	p.cancelOnce.Do(func() { close(p.cancelCh) })
+}
+
+// Err returns the pool's first failure: a *PanicError from a panicked
+// task, the error given to Cancel, or a retry-exhaustion error from
+// SubmitRetry. It is nil while the pool is healthy.
+func (p *Pool) Err() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failErr
+}
+
+// Canceled reports whether the pool has been canceled or has failed.
+func (p *Pool) Canceled() bool {
+	select {
+	case <-p.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed when the pool is canceled or fails.
+func (p *Pool) Done() <-chan struct{} { return p.cancelCh }
 
 func (p *Pool) worker() {
 	for {
@@ -75,16 +164,21 @@ func (p *Pool) worker() {
 		task := p.queue[0]
 		p.queue = p.queue[1:]
 		simulated := p.sim != nil
+		hook := p.taskHook
 		p.mu.Unlock()
 
-		if simulated {
+		switch {
+		case p.Canceled():
+			// Drain without executing: the task's completion obligations
+			// (gates, dependents) are abandoned, but the outstanding
+			// count still reaches zero so Wait returns.
+		case simulated:
 			proc, start := p.simBegin(task.vready)
-			task.f()
+			p.runTask(task.f, hook)
 			p.simEnd(proc, start)
-		} else {
-			task.f()
+		default:
+			p.runTask(task.f, hook)
 		}
-		p.executed.Add(1)
 		if p.outstanding.Add(-1) == 0 {
 			p.idleMu.Lock()
 			p.idleCond.Broadcast()
@@ -93,8 +187,25 @@ func (p *Pool) worker() {
 	}
 }
 
+// runTask executes one task with panic isolation: a panic (from the
+// task or the hook) becomes the pool's first-failure error and cancels
+// the pool; the worker goroutine survives.
+func (p *Pool) runTask(f func(), hook func(int64)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	if hook != nil {
+		hook(p.seq.Add(1) - 1)
+	}
+	f()
+	p.executed.Add(1)
+}
+
 // Submit enqueues a ready-to-run task. It never blocks and may be called
-// from inside other tasks.
+// from inside other tasks. On a canceled pool the task is accepted but
+// drained without executing.
 func (p *Pool) Submit(task func()) {
 	p.outstanding.Add(1)
 	p.mu.Lock()
@@ -107,8 +218,33 @@ func (p *Pool) Submit(task func()) {
 	p.mu.Unlock()
 }
 
+// SubmitRetry enqueues a task that may fail transiently: if task returns
+// a non-nil error it is requeued, up to attempts executions in total;
+// exhausting the attempts records the last error as the pool's failure
+// and cancels the pool. A panic is never retried — it is a first-class
+// failure like any other task panic.
+func (p *Pool) SubmitRetry(attempts int, task func() error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var run func(left int)
+	run = func(left int) {
+		if err := task(); err != nil {
+			if left > 1 {
+				p.Submit(func() { run(left - 1) })
+				return
+			}
+			p.fail(fmt.Errorf("sched: task failed after %d attempts: %w", attempts, err))
+		}
+	}
+	p.Submit(func() { run(attempts) })
+}
+
 // Wait blocks until every submitted task (including tasks submitted by
-// running tasks) has completed. It must not be called from inside a task.
+// running tasks) has completed or been drained after cancellation. It
+// must not be called from inside a task. After Wait, check Err: a
+// non-nil Err means the run was cut short and dependent results are
+// incomplete.
 func (p *Pool) Wait() {
 	p.idleMu.Lock()
 	defer p.idleMu.Unlock()
@@ -128,32 +264,56 @@ func (p *Pool) Close() {
 }
 
 // ParallelFor runs f(i) for i in [0, n) on the pool and blocks until all
-// iterations finish. Iterations are batched into contiguous chunks of
-// the given grain (grain ≤ 0 means one iteration per task — the paper's
-// finest granularity). It must not be called from inside a task.
-func (p *Pool) ParallelFor(n, grain int, f func(i int)) {
+// iterations finish or the pool is canceled, in which case it returns
+// the pool's error without waiting for the drained iterations (the
+// caller must not read results produced by f after a non-nil return:
+// a straggler iteration may still be running). Iterations are batched
+// into contiguous chunks of the given grain (grain ≤ 0 means one
+// iteration per task — the paper's finest granularity). It must not be
+// called from inside a task.
+func (p *Pool) ParallelFor(n, grain int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if grain <= 0 {
 		grain = 1
 	}
-	var wg sync.WaitGroup
+	chunks := (n + grain - 1) / grain
+	var remaining atomic.Int64
+	remaining.Store(int64(chunks))
+	done := make(chan struct{})
 	for lo := 0; lo < n; lo += grain {
 		hi := lo + grain
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
 		lo, hi := lo, hi
 		p.Submit(func() {
-			defer wg.Done()
+			// Record a panic before the decrement becomes visible, so a
+			// ParallelFor woken by the final decrement always observes
+			// the failure in Err.
+			defer func() {
+				if r := recover(); r != nil {
+					p.fail(&PanicError{Value: r, Stack: debug.Stack()})
+				}
+				if remaining.Add(-1) == 0 {
+					close(done)
+				}
+			}()
 			for i := lo; i < hi; i++ {
 				f(i)
 			}
 		})
 	}
-	wg.Wait()
+	select {
+	case <-done:
+		// All chunks ran; the pool may still have failed concurrently
+		// (e.g. another phase's task), but this loop's results are
+		// complete. Report the failure anyway: callers must stop.
+		return p.Err()
+	case <-p.cancelCh:
+		return p.Err()
+	}
 }
 
 // A Gate fires a task once a fixed number of prerequisite completions

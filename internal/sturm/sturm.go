@@ -130,6 +130,14 @@ func (c *Chain) CountAll() int {
 // handled by squarefree reduction. Arithmetic is recorded in ctx (the
 // caller typically uses a dedicated Counters).
 func FindRoots(p *poly.Poly, mu uint, ctx metrics.Ctx) ([]dyadic.Dyadic, error) {
+	return FindRootsStop(p, mu, ctx, nil)
+}
+
+// FindRootsStop is FindRoots with a cooperative stop hook: stop, if
+// non-nil, is polled once per isolation split and once per root
+// refinement, and a non-nil return aborts the computation with that
+// error (the resilience layer's cancellation and budget checks).
+func FindRootsStop(p *poly.Poly, mu uint, ctx metrics.Ctx, stop func() error) ([]dyadic.Dyadic, error) {
 	if p.Degree() < 1 {
 		return nil, fmt.Errorf("sturm: degree %d polynomial has no roots", p.Degree())
 	}
@@ -160,6 +168,11 @@ func FindRoots(p *poly.Poly, mu uint, ctx metrics.Ctx) ([]dyadic.Dyadic, error) 
 	stack := []piece{{lo, hi, total}}
 	var isolated []piece
 	for len(stack) > 0 {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return nil, err
+			}
+		}
 		pc := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		switch {
@@ -183,6 +196,11 @@ func FindRoots(p *poly.Poly, mu uint, ctx metrics.Ctx) ([]dyadic.Dyadic, error) 
 
 	roots := make([]dyadic.Dyadic, len(isolated))
 	for i, pc := range isolated {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return nil, err
+			}
+		}
 		roots[i] = refine(ps, dp, pc.lo, pc.hi, mu, ctx)
 	}
 	return roots, nil

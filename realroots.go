@@ -24,6 +24,7 @@
 package realroots
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -69,6 +70,16 @@ type Options struct {
 	// SequentialPrecompute forces the remainder-sequence stage to run
 	// sequentially even on a parallel run (the paper's run-time option).
 	SequentialPrecompute bool
+	// Timeout, if positive, bounds the run's wall time. An expired
+	// timeout aborts the run with ErrDeadline and a partial Result
+	// (stats only, no roots). Context-taking entry points compose it
+	// with the caller's context.
+	Timeout time.Duration
+	// MaxBitOps, if positive, bounds the run's total bit operations
+	// (Σ bitlen·bitlen over big-integer multiplications and divisions,
+	// the paper's §4 cost measure). A run that exceeds it aborts with
+	// ErrBudgetExceeded and a partial Result.
+	MaxBitOps int64
 }
 
 func (o *Options) coreOptions() core.Options {
@@ -81,6 +92,7 @@ func (o *Options) coreOptions() core.Options {
 	}
 	opts.Workers = o.Workers
 	opts.SequentialPrecompute = o.SequentialPrecompute
+	opts.MaxBitOps = o.MaxBitOps
 	switch o.Method {
 	case Bisection:
 		opts.Method = interval.MethodBisection
@@ -94,6 +106,23 @@ func (o *Options) coreOptions() core.Options {
 // which the algorithm's precondition excludes. (Use a general-purpose
 // isolator, or deflate the complex part, for such inputs.)
 var ErrNotAllReal = errors.New("realroots: polynomial does not have all real roots")
+
+// Typed resilience errors. A run cut short by its context, timeout, or
+// budget returns one of these (match with errors.Is) together with a
+// partial Result carrying the run statistics gathered so far — but no
+// roots: the solver never returns a root it has not fully verified.
+var (
+	// ErrCanceled reports that the caller's context was canceled.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadline reports that Options.Timeout or the caller context's
+	// deadline expired.
+	ErrDeadline = core.ErrDeadline
+	// ErrBudgetExceeded reports that the run spent more than
+	// Options.MaxBitOps bit operations.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrInvalidOptions is matched by every option-validation error.
+	ErrInvalidOptions = core.ErrInvalidOptions
+)
 
 // A Root is one distinct real root at the requested precision.
 type Root struct {
@@ -146,6 +175,15 @@ type Result struct {
 // only real roots; otherwise ErrNotAllReal (or an input-validation
 // error) is returned.
 func FindRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
+	return FindRootsContext(context.Background(), coeffs, opts)
+}
+
+// FindRootsContext is FindRoots under a caller-supplied context:
+// canceling ctx aborts the run (including all scheduler workers) with
+// ErrCanceled, a ctx deadline maps to ErrDeadline, and either composes
+// with Options.Timeout. The returned partial Result carries the run
+// statistics gathered before the interruption, but never roots.
+func FindRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options) (*Result, error) {
 	c := make([]*mp.Int, len(coeffs))
 	for i, v := range coeffs {
 		if v == nil {
@@ -153,27 +191,55 @@ func FindRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
 		}
 		c[i] = new(mp.Int).SetBig(v)
 	}
-	return findRoots(poly.New(c...), opts)
+	return findRoots(ctx, poly.New(c...), opts)
 }
 
 // FindRootsInt64 is FindRoots for small coefficients.
 func FindRootsInt64(coeffs []int64, opts *Options) (*Result, error) {
-	return findRoots(poly.FromInt64s(coeffs...), opts)
+	return findRoots(context.Background(), poly.FromInt64s(coeffs...), opts)
 }
 
-func findRoots(p *poly.Poly, opts *Options) (*Result, error) {
+// withTimeout composes the caller's context with Options.Timeout.
+func withTimeout(ctx context.Context, o *Options) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o != nil && o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// partialResult converts core's stats-only Result of an interrupted run.
+func partialResult(res *core.Result, degree int, mu uint, start time.Time) *Result {
+	if res == nil {
+		return nil
+	}
+	return &Result{
+		Degree:     degree,
+		Precision:  mu,
+		Elapsed:    time.Since(start),
+		Precompute: res.Stats.Precompute,
+		TreeSolve:  res.Stats.TreeSolve,
+	}
+}
+
+func findRoots(ctx context.Context, p *poly.Poly, opts *Options) (*Result, error) {
 	start := time.Now()
 	co := opts.coreOptions()
 	if p.Degree() < 1 {
 		return nil, fmt.Errorf("realroots: polynomial of degree %d has no roots", p.Degree())
 	}
+	ctx, cancel := withTimeout(ctx, opts)
+	defer cancel()
+	co.Ctx = ctx
 
 	var roots []Root
 	var stats core.Stats
 	if p.IsSquarefree() {
 		res, err := core.FindRoots(p, co)
 		if err != nil {
-			return nil, wrapErr(err)
+			return partialResult(res, p.Degree(), co.Mu, start), wrapErr(err)
 		}
 		roots = make([]Root, len(res.Roots))
 		for i, r := range res.Roots {
@@ -212,6 +278,12 @@ func wrapErr(err error) error {
 // (given as rows) to the requested precision, via its characteristic
 // polynomial — the paper's own workload. Multiplicities are reported.
 func Eigenvalues(matrix [][]int64, opts *Options) (*Result, error) {
+	return EigenvaluesContext(context.Background(), matrix, opts)
+}
+
+// EigenvaluesContext is Eigenvalues under a caller-supplied context;
+// see FindRootsContext for the cancellation contract.
+func EigenvaluesContext(ctx context.Context, matrix [][]int64, opts *Options) (*Result, error) {
 	m, err := charpoly.FromRows(matrix)
 	if err != nil {
 		return nil, fmt.Errorf("realroots: %w", err)
@@ -219,7 +291,7 @@ func Eigenvalues(matrix [][]int64, opts *Options) (*Result, error) {
 	if !m.IsSymmetric() {
 		return nil, errors.New("realroots: matrix is not symmetric (eigenvalues may be complex)")
 	}
-	return findRoots(charpoly.CharPoly(m), opts)
+	return findRoots(ctx, charpoly.CharPoly(m), opts)
 }
 
 // Isolate returns, for each distinct real root of the polynomial, an
@@ -249,6 +321,14 @@ func Isolate(coeffs []*big.Int, opts *Options) ([][2]*big.Rat, error) {
 // not computed; every returned root has Multiplicity 1 in its reported
 // slot (repeated roots are collapsed by squarefree reduction).
 func FindRealRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
+	return FindRealRootsContext(context.Background(), coeffs, opts)
+}
+
+// FindRealRootsContext is FindRealRoots under a caller-supplied
+// context. The sequential Sturm baseline honors the same resilience
+// contract as the parallel path: cancellation, Options.Timeout, and
+// Options.MaxBitOps abort the run with the matching typed error.
+func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options) (*Result, error) {
 	start := time.Now()
 	c := make([]*mp.Int, len(coeffs))
 	for i, v := range coeffs {
@@ -262,8 +342,30 @@ func FindRealRoots(coeffs []*big.Int, opts *Options) (*Result, error) {
 		return nil, fmt.Errorf("realroots: polynomial of degree %d has no roots", p.Degree())
 	}
 	co := opts.coreOptions()
-	ds, err := sturm.FindRoots(p, co.Mu, metrics.Ctx{})
+	if err := co.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, opts)
+	defer cancel()
+	var counters metrics.Counters
+	counters.SetBudget(co.MaxBitOps, nil)
+	stop := func() error {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return ErrDeadline
+			}
+			return ErrCanceled
+		}
+		if counters.BudgetExceeded() {
+			return ErrBudgetExceeded
+		}
+		return nil
+	}
+	ds, err := sturm.FindRootsStop(p, co.Mu, metrics.Ctx{C: &counters}, stop)
 	if err != nil {
+		if core.IsResilience(err) {
+			return &Result{Degree: p.Degree(), Precision: co.Mu, Elapsed: time.Since(start)}, err
+		}
 		return nil, fmt.Errorf("realroots: %w", err)
 	}
 	roots := make([]Root, len(ds))
