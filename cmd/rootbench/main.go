@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -61,6 +62,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		checks   = fs.Int("checks", 0, "cap the conformance experiment's case count (0 = full suite)")
 		simulate = fs.Bool("simulate", runtime.NumCPU() == 1,
 			"simulate P virtual processors from the real task graph (for the times/speedups experiments on hosts with few cores; defaults to true on single-core hosts)")
+		traceOut   = fs.String("trace", "", "run one traced solve of the grid's largest cell and write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file; prints a utilization summary and skips -exp")
+		jsonOut    = fs.String("json", "", "run the grid and write a machine-readable JSON report (schema "+harness.GridSchema+") to this file ('-' for stdout); skips -exp")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (go tool pprof) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,9 +77,6 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Ctx = ctx
 	cfg.Simulate = *simulate
-	if *simulate {
-		fmt.Fprintln(stdout, simulateNotice)
-	}
 	if *degrees != "" {
 		v, err := parseInts(*degrees)
 		if err != nil {
@@ -120,6 +122,81 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.ConformanceChecks = *checks
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "rootbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			}
+		}()
+	}
+
+	// Observability modes replace the experiment sweep.
+	if *traceOut != "" || *jsonOut != "" {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "rootbench: %v\n", err)
+				return 2
+			}
+			err = harness.TraceRun(stdout, cfg, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if code := reportErr(err, "trace", stdout, stderr); code != 0 {
+				return code
+			}
+		}
+		if *jsonOut != "" {
+			w := stdout
+			var f *os.File
+			if *jsonOut != "-" {
+				var err error
+				f, err = os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintf(stderr, "rootbench: %v\n", err)
+					return 2
+				}
+				w = f
+			}
+			err := harness.WriteGridJSON(w, cfg)
+			if f != nil {
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if code := reportErr(err, "json", stdout, stderr); code != 0 {
+				return code
+			}
+		}
+		return 0
+	}
+
+	if *simulate {
+		// Header comment so saved result files are self-describing; the
+		// JSON modes carry the same fact in their "simulate" field.
+		fmt.Fprintln(stdout, simulateNotice)
+	}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = harness.Names()
@@ -130,21 +207,31 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rootbench: unknown experiment %q (have: %s)\n", name, strings.Join(harness.Names(), ", "))
 			return 2
 		}
-		if err := runExp(stdout, cfg); err != nil {
-			if errors.Is(err, harness.ErrInterrupted) {
-				// The rows flushed so far are complete, valid results;
-				// mark the file as a truncated sweep and use the
-				// conventional 128+SIGINT exit status.
-				fmt.Fprintln(stdout, "# interrupted: sweep stopped early, results above are partial")
-				fmt.Fprintf(stderr, "rootbench: %s: interrupted\n", name)
-				return 130
-			}
-			fmt.Fprintf(stderr, "rootbench: %s: %v\n", name, err)
-			return 1
+		if code := reportErr(runExp(stdout, cfg), name, stdout, stderr); code != 0 {
+			return code
 		}
 		fmt.Fprintln(stdout)
 	}
 	return 0
+}
+
+// reportErr maps an experiment error to the process exit code: 0 on
+// success, 130 on a clean interruption (partial results remain valid),
+// 1 otherwise.
+func reportErr(err error, name string, stdout, stderr io.Writer) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, harness.ErrInterrupted) {
+		// The rows flushed so far are complete, valid results; mark the
+		// file as a truncated sweep and use the conventional 128+SIGINT
+		// exit status.
+		fmt.Fprintln(stdout, "# interrupted: sweep stopped early, results above are partial")
+		fmt.Fprintf(stderr, "rootbench: %s: interrupted\n", name)
+		return 130
+	}
+	fmt.Fprintf(stderr, "rootbench: %s: %v\n", name, err)
+	return 1
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"realroots/internal/harness"
+	"realroots/internal/trace"
+)
+
+var fastGrid = []string{"-degrees", "6,8", "-mus", "4", "-procs", "1,2", "-seeds", "1"}
+
+func TestTraceModeWritesChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	args := append([]string{"-trace", path}, fastGrid...)
+	code, out, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Errorf("emitted trace invalid: %v", err)
+	}
+	for _, want := range []string{"Traced run:", "Utilization summary", "Pipeline phases", "Workers:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONModeWritesValidGrid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	args := append([]string{"-json", path}, fastGrid...)
+	code, _, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.ValidateGridJSON(data); err != nil {
+		t.Errorf("emitted grid json invalid: %v", err)
+	}
+	// 2 degrees × 1 µ × 2 procs = 4 cells.
+	if n := strings.Count(string(data), `"degree"`); n != 4 {
+		t.Errorf("grid has %d cells, want 4", n)
+	}
+}
+
+// TestJSONToStdoutIsPure pins that '-json -' emits nothing but JSON on
+// stdout — no simulate notice, no experiment banners.
+func TestJSONToStdoutIsPure(t *testing.T) {
+	args := append([]string{"-json", "-", "-simulate"}, fastGrid...)
+	code, out, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if err := harness.ValidateGridJSON([]byte(out)); err != nil {
+		t.Errorf("stdout is not pure grid json: %v\n%s", err, out)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := append([]string{"-exp", "phases", "-cpuprofile", cpu, "-memprofile", mem, "-simulate=false"}, fastArgs...)
+	code, _, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestUtilizationExperiment(t *testing.T) {
+	args := append([]string{"-exp", "utilization", "-simulate=false"}, fastArgs...)
+	code, out, errOut := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"Utilization: traced sequential run", "computepoly", "interval", "control"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

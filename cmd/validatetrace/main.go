@@ -1,0 +1,48 @@
+// Command validatetrace checks that observability output files emitted
+// by rootbench parse against their schemas: Chrome trace-event JSON
+// (rootbench -trace) and bench-grid JSON (rootbench -json). The file
+// kind is sniffed from the content, so CI can pass both in one call.
+//
+// Usage:
+//
+//	validatetrace trace.json grid.json ...
+//
+// Exits 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"realroots/internal/harness"
+	"realroots/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validatetrace file.json ...")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range os.Args[1:] {
+		if err := validateFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "validatetrace: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	os.Exit(code)
+}
+
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if bytes.Contains(data, []byte(`"traceEvents"`)) {
+		return trace.ValidateChrome(data)
+	}
+	return harness.ValidateGridJSON(data)
+}

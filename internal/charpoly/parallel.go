@@ -41,7 +41,7 @@ func CharPolyParallel(a *Matrix, pool *sched.Pool) *poly.Poly {
 func mulParallel(x, y *Matrix, pool *sched.Pool) *Matrix {
 	n := x.n
 	z := NewMatrix(n)
-	pool.ParallelFor(n, 1, func(i int) {
+	pool.ParallelForTagged("charpoly", n, 1, func(i int) {
 		var t mp.Int
 		for j := 0; j < n; j++ {
 			acc := z.a[i*n+j]

@@ -23,6 +23,7 @@ import (
 	"realroots/internal/poly"
 	"realroots/internal/remseq"
 	"realroots/internal/sched"
+	"realroots/internal/trace"
 	"realroots/internal/tree"
 )
 
@@ -52,6 +53,12 @@ type Options struct {
 	SimulateWorkers int
 	// Counters, if non-nil, accumulates per-phase arithmetic counts.
 	Counters *metrics.Counters
+	// Tracer, if non-nil, records wall-clock spans: pipeline phase
+	// spans on the control lane, per-worker task timelines on the
+	// scheduler (parallel runs), and per-node task spans on the
+	// control lane (sequential runs). A nil Tracer adds no
+	// allocations to the solver hot path.
+	Tracer *trace.Tracer
 	// CheckTree enables the Theorem 1 structural self-check on the
 	// computed tree (tests and debugging).
 	CheckTree bool
@@ -245,6 +252,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 		if opts.TaskHook != nil {
 			pool.SetTaskHook(opts.TaskHook)
 		}
+		pool.SetTracer(opts.Tracer)
 		// Forward context cancellation to the pool; the watchdog exits
 		// when the run finishes.
 		watchDone := make(chan struct{})
@@ -284,16 +292,23 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 		return partial(err)
 	}
 
+	// Control lane: pipeline phase spans recorded by the orchestrating
+	// goroutine. Nil-safe — a nil Tracer makes every call below a no-op.
+	ctl := opts.Tracer.Lane(trace.ControlLane, "control")
+
 	// Degree-1 short-circuit: nothing to precompute.
 	if n == 1 {
 		bound := p.RootBound()
+		ctl.Begin("interval", trace.CatTask)
 		s := interval.NewSolver(p, nil, bound, opts.Mu, opts.Method, mctx)
 		roots := s.SolveAll()
+		ctl.End()
 		return &Result{Roots: roots, NStar: 1}, nil
 	}
 
 	// Stage 1: remainder and quotient sequences.
 	onPhase("precompute")
+	ctl.Begin("remainder", trace.CatPhase)
 	t0 := time.Now()
 	seqOpts := remseq.Options{Ctx: mctx, Grain: opts.Grain, Stop: stop}
 	if pool != nil && !opts.SequentialPrecompute {
@@ -302,12 +317,15 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	seq, err := remseq.Compute(p, seqOpts)
 	if err != nil {
 		precompute = time.Since(t0)
+		ctl.End()
 		return partial(err)
 	}
 	if err := seq.Validate(); err != nil {
+		ctl.End()
 		return nil, err
 	}
 	precompute = time.Since(t0)
+	ctl.End()
 
 	var precomputeTasks int64
 	if pool != nil {
@@ -320,18 +338,20 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 		return partial(err)
 	}
 	t1 := time.Now()
+	ctl.Begin("solve", trace.CatPhase)
 	root := tree.Build(n)
 	bound := p.RootBound()
 	var tally taskTally
 	var onInterval sync.Once
 	intervalPhase := func() { onInterval.Do(func() { onPhase("interval") }) }
 	if pool == nil {
-		err = solveSequential(seq, root, bound, opts, mctx, stop, intervalPhase)
+		err = solveSequential(seq, root, bound, opts, mctx, ctl, stop, intervalPhase)
 	} else {
 		err = solveParallel(pool, seq, root, bound, opts, mctx, &tally, intervalPhase)
 	}
+	treeSolve = time.Since(t1)
+	ctl.End()
 	if err != nil {
-		treeSolve = time.Since(t1)
 		return partial(err)
 	}
 	if opts.CheckTree {
@@ -390,8 +410,11 @@ func mergeRoots(nd *tree.Node) []dyadic.Dyadic {
 
 // solveSequential runs the whole second stage in post-order on the
 // calling goroutine, polling stop between nodes and between interval
-// problems so cancellation and budget exhaustion abort mid-phase.
-func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, mctx metrics.Ctx, stop func() error, intervalPhase func()) error {
+// problems so cancellation and budget exhaustion abort mid-phase. The
+// control lane records one task span per node step using the same tag
+// names as the parallel scheduler, so sequential and parallel traces
+// aggregate under the same task kinds.
+func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts Options, mctx metrics.Ctx, ctl *trace.Lane, stop func() error, intervalPhase func()) error {
 	var werr error
 	root.Walk(func(nd *tree.Node) {
 		if werr != nil {
@@ -400,19 +423,27 @@ func solveSequential(seq *remseq.Sequence, root *tree.Node, bound *mp.Int, opts 
 		if werr = stop(); werr != nil {
 			return
 		}
+		ctl.Begin("computepoly", trace.CatTask)
 		tree.ComputePoly(seq, mctx, nd)
+		ctl.End()
+		ctl.Begin("sort", trace.CatTask)
 		ys := mergeRoots(nd)
+		ctl.End()
+		ctl.Begin("preinterval", trace.CatTask)
 		s := interval.NewSolver(nd.P, ys, bound, opts.Mu, opts.Method, mctx)
 		for i := 0; i < s.NumPoints(); i++ {
 			s.EvalPoint(i)
 		}
+		ctl.End()
 		intervalPhase()
 		roots := make([]dyadic.Dyadic, s.NumRoots())
 		for i := range roots {
 			if werr = stop(); werr != nil {
 				return
 			}
+			ctl.Begin("interval", trace.CatTask)
 			roots[i] = s.SolveInterval(i)
+			ctl.End()
 		}
 		nd.Roots = roots
 	})
@@ -499,18 +530,18 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 
 		// PREINTERVAL fan-out, then INTERVAL fan-out, once both the
 		// polynomial and the merged child roots are available.
-		st.readyGate = sched.NewGate(pool, 2, func() {
+		st.readyGate = sched.NewGateTagged(pool, 2, "preinterval", func() {
 			st.solver = interval.NewSolver(nd.P, st.ys, bound, opts.Mu, opts.Method, ctx)
 			d := st.solver.NumRoots()
 			roots := make([]dyadic.Dyadic, d)
-			intervalGate := sched.NewGate(pool, d, func() {
+			intervalGate := sched.NewGateTagged(pool, d, "gate", func() {
 				nd.Roots = roots
 				nodeDone(nd)
 			})
-			preGate := sched.NewGate(pool, st.solver.NumPoints(), func() {
+			preGate := sched.NewGateTagged(pool, st.solver.NumPoints(), "gate", func() {
 				for i := 0; i < d; i++ {
 					i := i
-					pool.Submit(func() { // INTERVAL task
+					pool.SubmitTagged("interval", func() { // INTERVAL task
 						intervalPhase()
 						tally.interval.Add(1)
 						roots[i] = st.solver.SolveInterval(i)
@@ -520,7 +551,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 			})
 			for i := 0; i < st.solver.NumPoints(); i++ {
 				i := i
-				pool.Submit(func() { // PREINTERVAL task
+				pool.SubmitTagged("preinterval", func() { // PREINTERVAL task
 					tally.preInterval.Add(1)
 					st.solver.EvalPoint(i)
 					preGate.Done()
@@ -536,7 +567,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 		if nd.Right != nil {
 			nChildren++
 		}
-		st.sortGate = sched.NewGate(pool, nChildren, func() { // SORT task
+		st.sortGate = sched.NewGateTagged(pool, nChildren, "sort", func() { // SORT task
 			tally.sort.Add(1)
 			st.ys = mergeRoots(nd)
 			st.readyGate.Done()
@@ -552,11 +583,11 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 			if nd.Right != nil {
 				needs = 2
 			}
-			st.polyGate = sched.NewGate(pool, needs, func() {
+			st.polyGate = sched.NewGateTagged(pool, needs, "computepoly", func() {
 				// First product: M1 = Ŝ_k · T_left, 4 entry tasks.
 				sh := tree.SHat(seq, nd.K)
 				tctx := ctx.In(metrics.PhaseTree)
-				secondGate := sched.NewGate(pool, 4, func() {
+				secondGate := sched.NewGateTagged(pool, 4, "computepoly", func() {
 					tally.computePoly.Add(1)
 					// Second product (or scalar fold) + exact division.
 					if nd.Right == nil {
@@ -568,7 +599,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 					}
 					divisor := new(mp.Int).Mul(seq.Csq(nd.K), seq.Csq(nd.K-1))
 					prod := new(tree.Matrix2)
-					prodGate := sched.NewGate(pool, 4, func() {
+					prodGate := sched.NewGateTagged(pool, 4, "computepoly", func() {
 						tally.computePoly.Add(1)
 						t := prod.DivExact(tctx, divisor)
 						nd.T = t
@@ -578,7 +609,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 					for r := 0; r < 2; r++ {
 						for c := 0; c < 2; c++ {
 							r, c := r, c
-							pool.Submit(func() { // COMPUTEPOLY entry task (2nd product)
+							pool.SubmitTagged("computepoly", func() { // COMPUTEPOLY entry task (2nd product)
 								tally.computePoly.Add(1)
 								prod[r][c] = tree.MulEntry(tctx, nd.Right.T, &st.m1, r, c)
 								prodGate.Done()
@@ -589,7 +620,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 				for r := 0; r < 2; r++ {
 					for c := 0; c < 2; c++ {
 						r, c := r, c
-						pool.Submit(func() { // COMPUTEPOLY entry task (1st product)
+						pool.SubmitTagged("computepoly", func() { // COMPUTEPOLY entry task (1st product)
 							tally.computePoly.Add(1)
 							st.m1[r][c] = tree.MulEntry(tctx, sh, nd.Left.T, r, c)
 							secondGate.Done()
@@ -606,7 +637,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 	root.Walk(func(nd *tree.Node) {
 		if nd.J == n || nd.IsLeaf() {
 			nd := nd
-			pool.Submit(func() { // COMPUTEPOLY seed task
+			pool.SubmitTagged("computepoly", func() { // COMPUTEPOLY seed task
 				tally.computePoly.Add(1)
 				tree.ComputePoly(seq, ctx, nd)
 				polyDone(nd)

@@ -616,6 +616,7 @@ var Experiments = map[string]func(io.Writer, Config) error{
 	"times":       Times,
 	"speedups":    Speedups,
 	"ablations":   Ablations,
+	"utilization": Utilization,
 }
 
 // Names returns the experiment ids in a stable order.

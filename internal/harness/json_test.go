@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func gridCfg() Config {
+	return Config{Degrees: []int{6, 8}, Mus: []uint{4}, Procs: []int{1, 2}, Seeds: []int64{1}}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGridJSON(&buf, gridCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGridJSON(buf.Bytes()); err != nil {
+		t.Errorf("self-emitted grid json invalid: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{GridSchema, `"degree": 6`, `"degree": 8`, `"bitOps"`, `"metrics"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("grid json missing %s", want)
+		}
+	}
+}
+
+func TestValidateGridJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "nope",
+		"wrong schema": `{"schema":"other/v9","cells":[{"degree":6,"mu":4,"procs":1}]}`,
+		"no cells":     `{"schema":"` + GridSchema + `","cells":[]}`,
+		"bad shape":    `{"schema":"` + GridSchema + `","cells":[{"degree":0,"mu":4,"procs":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateGridJSON([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUtilizationExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments["utilization"]; !ok {
+		t.Fatal("utilization experiment not registered")
+	}
+}

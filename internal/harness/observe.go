@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"realroots/internal/core"
+	"realroots/internal/trace"
+)
+
+// Utilization runs one traced sequential solve of the grid's largest
+// (n, µ) cell and prints the trace's utilization summary: per-phase
+// wall time, task-kind busy time, and the control lane's timeline.
+// With one worker the span *structure* (phases, task kinds, counts) is
+// fully deterministic; only the times vary run to run.
+func Utilization(w io.Writer, cfg Config) error {
+	n := cfg.Degrees[len(cfg.Degrees)-1]
+	mu := cfg.Mus[len(cfg.Mus)-1]
+	seed := cfg.Seeds[0]
+	if err := cfg.interrupted(); err != nil {
+		return err
+	}
+	p := Instance(seed, n)
+	tr := trace.New()
+	if _, err := core.FindRoots(p, core.Options{Mu: mu, Tracer: tr, Ctx: cfg.Ctx}); err != nil {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
+		return fmt.Errorf("utilization n=%d µ=%d seed=%d: %w", n, mu, seed, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("utilization: invalid trace: %w", err)
+	}
+	fmt.Fprintf(w, "Utilization: traced sequential run (n=%d, µ=%d, P=1, seed=%d)\n", n, mu, seed)
+	return tr.Summarize().WriteText(w)
+}
+
+// TraceRun executes one traced solve of the grid's largest (n, µ) cell
+// on the grid's largest worker count, writes the Chrome trace-event
+// JSON (chrome://tracing, Perfetto) to traceW, and prints the plain-
+// text utilization summary to w.
+func TraceRun(w io.Writer, cfg Config, traceW io.Writer) error {
+	n := cfg.Degrees[len(cfg.Degrees)-1]
+	mu := cfg.Mus[len(cfg.Mus)-1]
+	procs := maxInt(cfg.Procs)
+	seed := cfg.Seeds[0]
+	if err := cfg.interrupted(); err != nil {
+		return err
+	}
+	p := Instance(seed, n)
+	tr := trace.New()
+	start := time.Now()
+	res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: procs, Tracer: tr, Ctx: cfg.Ctx})
+	if err != nil {
+		if err := cfg.interrupted(); err != nil {
+			return err
+		}
+		return fmt.Errorf("trace n=%d µ=%d P=%d seed=%d: %w", n, mu, procs, seed, err)
+	}
+	wall := time.Since(start)
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace: invalid trace: %w", err)
+	}
+	if err := tr.WriteChrome(traceW); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Traced run: n=%d µ=%d P=%d seed=%d — %d roots in %.3fs\n",
+		n, mu, procs, seed, res.NStar, wall.Seconds())
+	return tr.Summarize().WriteText(w)
+}

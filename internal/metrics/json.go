@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON form of a Report: phases keyed by name (stable across phase
+// renumbering, readable in dumps), zero phases omitted, plus the total.
+// The histogram is emitted as a slice trimmed of trailing zero buckets.
+//
+//	{"phases":{"remainder":{"muls":…,"bitlenHist":[0,3,…]},…},
+//	 "total":{…}}
+
+// phaseJSON is the wire form of one PhaseReport.
+type phaseJSON struct {
+	Muls    int64   `json:"muls"`
+	MulBits int64   `json:"mulBits"`
+	Divs    int64   `json:"divs"`
+	DivBits int64   `json:"divBits"`
+	Adds    int64   `json:"adds"`
+	Evals   int64   `json:"evals"`
+	BitLen  []int64 `json:"bitlenHist,omitempty"`
+}
+
+func (p PhaseReport) toJSON() phaseJSON {
+	j := phaseJSON{
+		Muls:    p.Muls,
+		MulBits: p.MulBits,
+		Divs:    p.Divs,
+		DivBits: p.DivBits,
+		Adds:    p.Adds,
+		Evals:   p.Evals,
+	}
+	last := -1
+	for b := 0; b < BitLenBuckets; b++ {
+		if p.BitLen[b] != 0 {
+			last = b
+		}
+	}
+	if last >= 0 {
+		j.BitLen = append(j.BitLen, p.BitLen[:last+1]...)
+	}
+	return j
+}
+
+func (j phaseJSON) toReport() (PhaseReport, error) {
+	p := PhaseReport{
+		Muls:    j.Muls,
+		MulBits: j.MulBits,
+		Divs:    j.Divs,
+		DivBits: j.DivBits,
+		Adds:    j.Adds,
+		Evals:   j.Evals,
+	}
+	if len(j.BitLen) > BitLenBuckets {
+		return p, fmt.Errorf("metrics: bitlenHist has %d buckets, max %d", len(j.BitLen), BitLenBuckets)
+	}
+	copy(p.BitLen[:], j.BitLen)
+	return p, nil
+}
+
+// MarshalJSON encodes the report with phases keyed by name; phases with
+// no recorded operations are omitted.
+func (r Report) MarshalJSON() ([]byte, error) {
+	phases := make(map[string]phaseJSON, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		if r.Phases[p] == (PhaseReport{}) {
+			continue
+		}
+		phases[p.String()] = r.Phases[p].toJSON()
+	}
+	return json.Marshal(struct {
+		Phases map[string]phaseJSON `json:"phases"`
+		Total  phaseJSON            `json:"total"`
+	}{phases, r.Total().toJSON()})
+}
+
+// phaseByName maps phase names back to their index.
+var phaseByName = func() map[string]Phase {
+	m := make(map[string]Phase, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		m[p.String()] = p
+	}
+	return m
+}()
+
+// UnmarshalJSON decodes the name-keyed form produced by MarshalJSON
+// (the total field is ignored; it is derived). Unknown phase names are
+// an error so schema drift is caught rather than silently dropped.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Phases map[string]phaseJSON `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	var out Report
+	for name, pj := range wire.Phases {
+		p, ok := phaseByName[name]
+		if !ok {
+			return fmt.Errorf("metrics: unknown phase %q", name)
+		}
+		pr, err := pj.toReport()
+		if err != nil {
+			return err
+		}
+		out.Phases[p] = pr
+	}
+	*r = out
+	return nil
+}

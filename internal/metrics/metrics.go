@@ -10,6 +10,7 @@ package metrics
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sync/atomic"
 )
 
@@ -58,6 +59,38 @@ func AllPhases() []Phase {
 	return ps
 }
 
+// BitLenBuckets is the number of log₂ bit-length histogram buckets.
+// Bucket 0 counts zero-bit operands; bucket b ≥ 1 counts operations
+// whose larger operand has a bit length in [2^(b-1), 2^b). The top
+// bucket absorbs everything larger (≥ 2^(BitLenBuckets-2) bits — far
+// beyond any operand this algorithm produces).
+const BitLenBuckets = 20
+
+// bitLenBucket maps an operand bit length to its histogram bucket.
+func bitLenBucket(bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	b := mathbits.Len(uint(bits))
+	if b >= BitLenBuckets {
+		b = BitLenBuckets - 1
+	}
+	return b
+}
+
+// BucketRange describes histogram bucket b as the half-open bit-length
+// interval [lo, hi) it counts (hi = 0 for the unbounded top bucket).
+func BucketRange(b int) (lo, hi int) {
+	switch {
+	case b <= 0:
+		return 0, 1
+	case b >= BitLenBuckets-1:
+		return 1 << (BitLenBuckets - 2), 0
+	default:
+		return 1 << (b - 1), 1 << b
+	}
+}
+
 // Counters accumulates arithmetic operation counts per phase. The zero
 // value is ready to use. A nil *Counters is valid everywhere and records
 // nothing, so instrumentation can be disabled without branching at call
@@ -70,22 +103,32 @@ type Counters struct {
 	add     [NumPhases]atomic.Int64 // number of additions/subtractions
 	evals   [NumPhases]atomic.Int64 // number of full polynomial evaluations
 
+	// hist is the per-phase operand-size distribution: for every
+	// multiplication and division, the log₂ bucket of the larger
+	// operand's bit length (see BitLenBuckets).
+	hist [NumPhases][BitLenBuckets]atomic.Int64
+
 	// Budget enforcement (see SetBudget): bitOps aggregates
 	// mulBits+divBits across all phases so the limit check is one
 	// atomic load per operation.
 	bitOps   atomic.Int64
 	budget   atomic.Int64 // 0 = unlimited
 	tripped  atomic.Bool
-	onExceed func() // fired once, by the operation that crosses the limit
+	onExceed atomic.Pointer[func()] // fired once, by the operation that crosses the limit
 }
 
 // SetBudget arms a bit-operation budget: once the cumulative
 // Σ bitlen·bitlen over multiplications and divisions (BitOps) exceeds
 // maxBits, onExceed (if non-nil) fires exactly once and BudgetExceeded
-// reports true. maxBits ≤ 0 disarms the budget. Call before the run
-// starts — the callback is read concurrently by recording goroutines.
+// reports true. maxBits ≤ 0 disarms the budget. SetBudget is safe to
+// call concurrently with recording, though a budget re-armed mid-run
+// applies only to operations that observe the new limit.
 func (c *Counters) SetBudget(maxBits int64, onExceed func()) {
-	c.onExceed = onExceed
+	if onExceed == nil {
+		c.onExceed.Store(nil)
+	} else {
+		c.onExceed.Store(&onExceed)
+	}
 	c.budget.Store(maxBits)
 }
 
@@ -109,10 +152,20 @@ func (c *Counters) BudgetExceeded() bool {
 func (c *Counters) noteBits(bits int64) {
 	total := c.bitOps.Add(bits)
 	if lim := c.budget.Load(); lim > 0 && total > lim {
-		if c.tripped.CompareAndSwap(false, true) && c.onExceed != nil {
-			c.onExceed()
+		if c.tripped.CompareAndSwap(false, true) {
+			if f := c.onExceed.Load(); f != nil {
+				(*f)()
+			}
 		}
 	}
+}
+
+// noteHist records the operand-size histogram sample for one mul/div.
+func (c *Counters) noteHist(p Phase, xbits, ybits int) {
+	if ybits > xbits {
+		xbits = ybits
+	}
+	c.hist[p][bitLenBucket(xbits)].Add(1)
 }
 
 // AddMul records one multiplication of xbits-by-ybits operands in phase p.
@@ -123,6 +176,7 @@ func (c *Counters) AddMul(p Phase, xbits, ybits int) {
 	c.mul[p].Add(1)
 	bits := int64(xbits) * int64(ybits)
 	c.mulBits[p].Add(bits)
+	c.noteHist(p, xbits, ybits)
 	c.noteBits(bits)
 }
 
@@ -134,6 +188,7 @@ func (c *Counters) AddDiv(p Phase, xbits, ybits int) {
 	c.div[p].Add(1)
 	bits := int64(xbits) * int64(ybits)
 	c.divBits[p].Add(bits)
+	c.noteHist(p, xbits, ybits)
 	c.noteBits(bits)
 }
 
@@ -166,6 +221,9 @@ func (c *Counters) Reset() {
 		c.divBits[p].Store(0)
 		c.add[p].Store(0)
 		c.evals[p].Store(0)
+		for b := 0; b < BitLenBuckets; b++ {
+			c.hist[p][b].Store(0)
+		}
 	}
 	c.bitOps.Store(0)
 	c.tripped.Store(false)
@@ -179,7 +237,16 @@ type PhaseReport struct {
 	DivBits int64
 	Adds    int64
 	Evals   int64
+	// BitLen is the operand-size distribution of the phase's
+	// multiplications and divisions in log₂ buckets: BitLen[b] counts
+	// operations whose larger operand's bit length falls in
+	// BucketRange(b).
+	BitLen [BitLenBuckets]int64
 }
+
+// Ops returns the phase's combined multiplication + division count
+// (the histogram's total mass).
+func (p PhaseReport) Ops() int64 { return p.Muls + p.Divs }
 
 // Report is a snapshot of all phases.
 type Report struct {
@@ -193,7 +260,7 @@ func (c *Counters) Snapshot() Report {
 		return r
 	}
 	for p := Phase(0); p < NumPhases; p++ {
-		r.Phases[p] = PhaseReport{
+		pr := PhaseReport{
 			Muls:    c.mul[p].Load(),
 			MulBits: c.mulBits[p].Load(),
 			Divs:    c.div[p].Load(),
@@ -201,20 +268,32 @@ func (c *Counters) Snapshot() Report {
 			Adds:    c.add[p].Load(),
 			Evals:   c.evals[p].Load(),
 		}
+		for b := 0; b < BitLenBuckets; b++ {
+			pr.BitLen[b] = c.hist[p][b].Load()
+		}
+		r.Phases[p] = pr
 	}
 	return r
+}
+
+// accum adds p into t field-by-field (histogram included).
+func (t *PhaseReport) accum(p PhaseReport) {
+	t.Muls += p.Muls
+	t.MulBits += p.MulBits
+	t.Divs += p.Divs
+	t.DivBits += p.DivBits
+	t.Adds += p.Adds
+	t.Evals += p.Evals
+	for b := 0; b < BitLenBuckets; b++ {
+		t.BitLen[b] += p.BitLen[b]
+	}
 }
 
 // Total returns the sum of all phases' counters.
 func (r Report) Total() PhaseReport {
 	var t PhaseReport
 	for _, p := range r.Phases {
-		t.Muls += p.Muls
-		t.MulBits += p.MulBits
-		t.Divs += p.Divs
-		t.DivBits += p.DivBits
-		t.Adds += p.Adds
-		t.Evals += p.Evals
+		t.accum(p)
 	}
 	return t
 }
@@ -223,13 +302,7 @@ func (r Report) Total() PhaseReport {
 func (r Report) Sum(phases ...Phase) PhaseReport {
 	var t PhaseReport
 	for _, p := range phases {
-		pr := r.Phases[p]
-		t.Muls += pr.Muls
-		t.MulBits += pr.MulBits
-		t.Divs += pr.Divs
-		t.DivBits += pr.DivBits
-		t.Adds += pr.Adds
-		t.Evals += pr.Evals
+		t.accum(r.Phases[p])
 	}
 	return t
 }
@@ -239,7 +312,7 @@ func (r Report) Sub(old Report) Report {
 	var d Report
 	for p := Phase(0); p < NumPhases; p++ {
 		a, b := r.Phases[p], old.Phases[p]
-		d.Phases[p] = PhaseReport{
+		pr := PhaseReport{
 			Muls:    a.Muls - b.Muls,
 			MulBits: a.MulBits - b.MulBits,
 			Divs:    a.Divs - b.Divs,
@@ -247,6 +320,10 @@ func (r Report) Sub(old Report) Report {
 			Adds:    a.Adds - b.Adds,
 			Evals:   a.Evals - b.Evals,
 		}
+		for bk := 0; bk < BitLenBuckets; bk++ {
+			pr.BitLen[bk] = a.BitLen[bk] - b.BitLen[bk]
+		}
+		d.Phases[p] = pr
 	}
 	return d
 }

@@ -131,7 +131,7 @@ func Compute(p *poly.Poly, opts Options) (*Sequence, error) {
 			// On a canceled pool some iterations were drained (and a
 			// straggler may still be writing next); abort without
 			// reading the partial row.
-			if err := opts.Pool.ParallelFor(n-i, opts.Grain, body); err != nil {
+			if err := opts.Pool.ParallelForTagged("precompute", n-i, opts.Grain, body); err != nil {
 				return nil, err
 			}
 		} else {

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"realroots/internal/trace"
+)
+
+func TestQueueDepthAndStats(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	// Block the single worker so submissions pile up measurably.
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	p.Submit(func() { started.Done(); <-release })
+	started.Wait()
+
+	for i := 0; i < 5; i++ {
+		p.Submit(func() {})
+	}
+	if d := p.QueueDepth(); d != 5 {
+		t.Errorf("QueueDepth = %d, want 5", d)
+	}
+	close(release)
+	p.Wait()
+
+	st := p.Stats()
+	if st.Workers != 1 {
+		t.Errorf("Stats.Workers = %d, want 1", st.Workers)
+	}
+	if st.Executed != 6 {
+		t.Errorf("Stats.Executed = %d, want 6", st.Executed)
+	}
+	if st.MaxQueueDepth < 5 {
+		t.Errorf("Stats.MaxQueueDepth = %d, want >= 5", st.MaxQueueDepth)
+	}
+	if st.Panics != 0 || st.Retries != 0 {
+		t.Errorf("Stats = %+v, want zero panics/retries", st)
+	}
+	if d := p.QueueDepth(); d != 0 {
+		t.Errorf("QueueDepth after Wait = %d, want 0", d)
+	}
+}
+
+func TestStatsCountsPanics(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	p.Wait()
+	if got := p.Stats().Panics; got != 1 {
+		t.Errorf("Stats.Panics = %d, want 1", got)
+	}
+	var pe *PanicError
+	if !errors.As(p.Err(), &pe) {
+		t.Errorf("Err = %v, want PanicError", p.Err())
+	}
+}
+
+func TestStatsCountsRetries(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var calls atomic.Int64
+	p.SubmitRetry(3, func() error {
+		if calls.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	p.Wait()
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if got := p.Stats().Retries; got != 2 {
+		t.Errorf("Stats.Retries = %d, want 2", got)
+	}
+}
+
+func TestTracerRecordsWorkerSpans(t *testing.T) {
+	tr := trace.New()
+	p := NewPool(3)
+	p.SetTracer(tr)
+	const n = 24
+	for i := 0; i < n; i++ {
+		p.SubmitTagged("interval", func() {})
+	}
+	p.Submit(func() {}) // default tag
+	p.Wait()
+	p.Close()
+
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	lanes := tr.Lanes()
+	if len(lanes) == 0 || len(lanes) > 3 {
+		t.Fatalf("got %d lanes, want 1..3", len(lanes))
+	}
+	total, tagged := 0, 0
+	for _, l := range lanes {
+		if l.ID < 0 || l.ID > 2 {
+			t.Errorf("unexpected lane ID %d", l.ID)
+		}
+		for _, s := range l.Spans() {
+			if s.Cat != trace.CatTask {
+				t.Errorf("span cat = %q, want task", s.Cat)
+			}
+			total++
+			if s.Name == "interval" {
+				tagged++
+			}
+		}
+	}
+	if total != n+1 {
+		t.Errorf("recorded %d spans, want %d", total, n+1)
+	}
+	if tagged != n {
+		t.Errorf("%d interval-tagged spans, want %d", tagged, n)
+	}
+	if len(tr.Counters()) != total {
+		t.Errorf("%d queue-depth samples, want %d", len(tr.Counters()), total)
+	}
+}
+
+func TestTracedGateAndParallelForTags(t *testing.T) {
+	tr := trace.New()
+	p := NewPool(2)
+	p.SetTracer(tr)
+	g := NewGateTagged(p, 2, "sort", func() {})
+	_ = p.ParallelForTagged("precompute", 8, 4, func(i int) {})
+	g.Done()
+	g.Done()
+	p.Wait()
+	p.Close()
+
+	byTag := map[string]int{}
+	for _, l := range tr.Lanes() {
+		for _, s := range l.Spans() {
+			byTag[s.Name]++
+		}
+	}
+	if byTag["precompute"] != 2 {
+		t.Errorf("precompute spans = %d, want 2 (8 iterations / grain 4)", byTag["precompute"])
+	}
+	if byTag["sort"] != 1 {
+		t.Errorf("sort spans = %d, want 1", byTag["sort"])
+	}
+}
+
+func TestTracedSimulatedPool(t *testing.T) {
+	tr := trace.New()
+	p := NewSimulatedPool(4)
+	p.SetTracer(tr)
+	for i := 0; i < 6; i++ {
+		p.SubmitTagged("interval", func() {})
+	}
+	p.Wait()
+	p.Close()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	lanes := tr.Lanes()
+	if len(lanes) != 1 {
+		t.Fatalf("simulated pool has %d lanes, want 1 (one real worker)", len(lanes))
+	}
+	if got := len(lanes[0].Spans()); got != 6 {
+		t.Errorf("spans = %d, want 6", got)
+	}
+}
+
+// TestUntracedPoolUnchanged pins the no-tracer behavior: no lanes, no
+// samples, stats still counted.
+func TestUntracedPoolUnchanged(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		p.Submit(func() {})
+	}
+	p.Wait()
+	if got := p.Executed(); got != 10 {
+		t.Errorf("Executed = %d, want 10", got)
+	}
+}

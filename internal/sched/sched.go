@@ -21,9 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"realroots/internal/trace"
 )
 
 // ErrPoolCanceled is the error recorded by Cancel(nil).
@@ -49,6 +52,8 @@ type Pool struct {
 	queue    []queued
 	closed   bool
 	taskHook func(seq int64) // fault-injection / tracing hook (see SetTaskHook)
+	tracer   *trace.Tracer   // nil = tracing disabled (see SetTracer)
+	maxQueue int             // high-water mark of len(queue), under mu
 
 	outstanding atomic.Int64 // queued + running tasks
 	idleMu      sync.Mutex
@@ -56,6 +61,8 @@ type Pool struct {
 
 	workers  int
 	executed atomic.Int64 // total tasks run to completion (diagnostics)
+	panics   atomic.Int64 // panics recovered from tasks (incl. ParallelFor bodies)
+	retries  atomic.Int64 // SubmitRetry re-executions after a transient failure
 	seq      atomic.Int64 // task sequence numbers handed to the hook
 
 	cancelCh   chan struct{} // closed on first Cancel/failure
@@ -66,10 +73,18 @@ type Pool struct {
 	sim *simState // non-nil in simulation mode (see sim.go)
 }
 
-// queued is one queue entry: the task plus its simulated ready time
-// (zero outside simulation mode).
+// DefaultTag is the task tag used by the untagged Submit/NewGate/
+// ParallelFor entry points; tagged variants let callers label the task
+// kind (the paper's Fig. 3.2 taxonomy) for trace timelines.
+const DefaultTag = "task"
+
+// queued is one queue entry: the task plus its tag (for trace spans),
+// its submission time relative to the tracer epoch (zero when tracing
+// is off), and its simulated ready time (zero outside simulation mode).
 type queued struct {
 	f      func()
+	tag    string
+	enq    time.Duration
 	vready time.Duration
 }
 
@@ -82,7 +97,7 @@ func NewPool(workers int) *Pool {
 	p.cond = sync.NewCond(&p.mu)
 	p.idleCond = sync.NewCond(&p.idleMu)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -93,6 +108,50 @@ func (p *Pool) Workers() int { return p.workers }
 // Executed returns the number of tasks the pool has run to completion
 // (panicked and drained-after-cancel tasks are not counted).
 func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// QueueDepth returns the number of tasks currently waiting in the
+// queue (excluding running tasks). It is a point-in-time sample:
+// workers may dequeue concurrently.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// PoolStats is a point-in-time snapshot of the pool's execution
+// counters.
+type PoolStats struct {
+	Workers       int   // fixed worker count
+	Executed      int64 // tasks run to completion
+	Panics        int64 // task panics recovered into pool failures
+	Retries       int64 // SubmitRetry re-executions after transient errors
+	MaxQueueDepth int   // high-water mark of the queue length
+}
+
+// Stats returns a snapshot of the pool's execution counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	maxQ := p.maxQueue
+	p.mu.Unlock()
+	return PoolStats{
+		Workers:       p.workers,
+		Executed:      p.executed.Load(),
+		Panics:        p.panics.Load(),
+		Retries:       p.retries.Load(),
+		MaxQueueDepth: maxQ,
+	}
+}
+
+// SetTracer attaches a tracer: every executed task is recorded as a
+// span (named by its tag) on the executing worker's lane, with the
+// queue latency between submission and start, and the queue depth is
+// sampled at each dequeue. Install it before submitting work; a nil
+// tracer (the default) adds no allocations to the submit/execute path.
+func (p *Pool) SetTracer(tr *trace.Tracer) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
+}
 
 // SetTaskHook installs a hook invoked at the start of every task with a
 // monotonically increasing sequence number (0, 1, 2, …, in execution
@@ -151,7 +210,8 @@ func (p *Pool) Canceled() bool {
 // Done returns a channel closed when the pool is canceled or fails.
 func (p *Pool) Done() <-chan struct{} { return p.cancelCh }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
+	var lane *trace.Lane // cached worker timeline; created on first traced task
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closed {
@@ -163,9 +223,15 @@ func (p *Pool) worker() {
 		}
 		task := p.queue[0]
 		p.queue = p.queue[1:]
+		depth := len(p.queue)
 		simulated := p.sim != nil
 		hook := p.taskHook
+		tr := p.tracer
 		p.mu.Unlock()
+
+		if tr != nil && lane == nil {
+			lane = tr.Lane(id, "worker-"+strconv.Itoa(id))
+		}
 
 		switch {
 		case p.Canceled():
@@ -174,10 +240,10 @@ func (p *Pool) worker() {
 			// count still reaches zero so Wait returns.
 		case simulated:
 			proc, start := p.simBegin(task.vready)
-			p.runTask(task.f, hook)
+			p.traceTask(tr, lane, task, depth, hook)
 			p.simEnd(proc, start)
 		default:
-			p.runTask(task.f, hook)
+			p.traceTask(tr, lane, task, depth, hook)
 		}
 		if p.outstanding.Add(-1) == 0 {
 			p.idleMu.Lock()
@@ -187,12 +253,31 @@ func (p *Pool) worker() {
 	}
 }
 
+// traceTask runs one task, wrapped in a worker-lane span and a
+// queue-depth sample when tracing is enabled. With tr == nil it is
+// exactly runTask.
+func (p *Pool) traceTask(tr *trace.Tracer, lane *trace.Lane, task queued, depth int, hook func(int64)) {
+	if tr == nil {
+		p.runTask(task.f, hook)
+		return
+	}
+	tr.CounterSample("queue depth", int64(depth))
+	var wait time.Duration
+	if task.enq > 0 {
+		wait = tr.Now() - task.enq
+	}
+	lane.BeginAt(task.tag, trace.CatTask, wait)
+	defer lane.End()
+	p.runTask(task.f, hook)
+}
+
 // runTask executes one task with panic isolation: a panic (from the
 // task or the hook) becomes the pool's first-failure error and cancels
 // the pool; the worker goroutine survives.
 func (p *Pool) runTask(f func(), hook func(int64)) {
 	defer func() {
 		if r := recover(); r != nil {
+			p.panics.Add(1)
 			p.fail(&PanicError{Value: r, Stack: debug.Stack()})
 		}
 	}()
@@ -207,13 +292,27 @@ func (p *Pool) runTask(f func(), hook func(int64)) {
 // from inside other tasks. On a canceled pool the task is accepted but
 // drained without executing.
 func (p *Pool) Submit(task func()) {
+	p.SubmitTagged(DefaultTag, task)
+}
+
+// SubmitTagged is Submit with a task-kind tag: the tag names the
+// task's span on the executing worker's trace timeline. Tags should be
+// small constant strings (e.g. the paper's Fig. 3.2 kinds).
+func (p *Pool) SubmitTagged(tag string, task func()) {
 	p.outstanding.Add(1)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		panic("sched: Submit on closed pool")
 	}
-	p.queue = append(p.queue, queued{f: task, vready: p.simReadyTime()})
+	var enq time.Duration
+	if p.tracer != nil {
+		enq = p.tracer.Now()
+	}
+	p.queue = append(p.queue, queued{f: task, tag: tag, enq: enq, vready: p.simReadyTime()})
+	if len(p.queue) > p.maxQueue {
+		p.maxQueue = len(p.queue)
+	}
 	p.cond.Signal()
 	p.mu.Unlock()
 }
@@ -231,7 +330,8 @@ func (p *Pool) SubmitRetry(attempts int, task func() error) {
 	run = func(left int) {
 		if err := task(); err != nil {
 			if left > 1 {
-				p.Submit(func() { run(left - 1) })
+				p.retries.Add(1)
+				p.SubmitTagged("retry", func() { run(left - 1) })
 				return
 			}
 			p.fail(fmt.Errorf("sched: task failed after %d attempts: %w", attempts, err))
@@ -272,6 +372,12 @@ func (p *Pool) Close() {
 // iteration per task — the paper's finest granularity). It must not be
 // called from inside a task.
 func (p *Pool) ParallelFor(n, grain int, f func(i int)) error {
+	return p.ParallelForTagged(DefaultTag, n, grain, f)
+}
+
+// ParallelForTagged is ParallelFor with a task-kind tag for the chunk
+// tasks' trace spans.
+func (p *Pool) ParallelForTagged(tag string, n, grain int, f func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -288,12 +394,13 @@ func (p *Pool) ParallelFor(n, grain int, f func(i int)) error {
 			hi = n
 		}
 		lo, hi := lo, hi
-		p.Submit(func() {
+		p.SubmitTagged(tag, func() {
 			// Record a panic before the decrement becomes visible, so a
 			// ParallelFor woken by the final decrement always observes
 			// the failure in Err.
 			defer func() {
 				if r := recover(); r != nil {
+					p.panics.Add(1)
 					p.fail(&PanicError{Value: r, Stack: debug.Stack()})
 				}
 				if remaining.Add(-1) == 0 {
@@ -324,16 +431,23 @@ func (p *Pool) ParallelFor(n, grain int, f func(i int)) error {
 type Gate struct {
 	remaining atomic.Int32
 	pool      *Pool
+	tag       string
 	task      func()
 }
 
 // NewGate creates a gate that submits task to the pool after need
 // completions. If need is 0 the task is submitted immediately.
 func NewGate(pool *Pool, need int, task func()) *Gate {
-	g := &Gate{pool: pool, task: task}
+	return NewGateTagged(pool, need, DefaultTag, task)
+}
+
+// NewGateTagged is NewGate with a task-kind tag for the gated task's
+// trace span.
+func NewGateTagged(pool *Pool, need int, tag string, task func()) *Gate {
+	g := &Gate{pool: pool, tag: tag, task: task}
 	g.remaining.Store(int32(need))
 	if need == 0 {
-		pool.Submit(task)
+		pool.SubmitTagged(tag, task)
 	}
 	return g
 }
@@ -342,7 +456,7 @@ func NewGate(pool *Pool, need int, task func()) *Gate {
 // gated task.
 func (g *Gate) Done() {
 	if n := g.remaining.Add(-1); n == 0 {
-		g.pool.Submit(g.task)
+		g.pool.SubmitTagged(g.tag, g.task)
 	} else if n < 0 {
 		panic("sched: Gate.Done called too many times")
 	}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export. The format is the Trace Event Format
+// consumed by chrome://tracing and by Perfetto's legacy importer: a
+// JSON object with a traceEvents array of "X" (complete) events, "M"
+// (metadata) events naming the threads, and "C" (counter) events.
+// Timestamps and durations are in microseconds.
+//
+// Lanes map to threads of a single process: the control lane renders
+// as tid 0 and worker lane i as tid i+1, so the per-worker timelines
+// stack under the control timeline in display order.
+
+// chromeEvent is one trace-event JSON record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTid maps a lane ID to a non-negative Chrome thread id.
+func chromeTid(laneID int) int {
+	if laneID == ControlLane {
+		return 0
+	}
+	return laneID + 1
+}
+
+const micros = 1e3 // nanoseconds per microsecond
+
+// WriteChrome writes the recorded trace as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Call it
+// only after the traced run has completed.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: WriteChrome on nil Tracer")
+	}
+	var events []chromeEvent
+	for _, l := range t.Lanes() {
+		tid := chromeTid(l.ID)
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": l.Name},
+		}, chromeEvent{
+			Name: "thread_sort_index",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+		for _, s := range l.Spans() {
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  s.Cat,
+				Ph:   "X",
+				Ts:   float64(s.Start.Nanoseconds()) / micros,
+				Dur:  float64(s.Dur.Nanoseconds()) / micros,
+				Pid:  1,
+				Tid:  tid,
+			}
+			if s.Wait > 0 {
+				ev.Args = map[string]any{"wait_us": float64(s.Wait.Nanoseconds()) / micros}
+			}
+			events = append(events, ev)
+		}
+	}
+	for _, c := range t.Counters() {
+		events = append(events, chromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			Ts:   float64(c.At.Nanoseconds()) / micros,
+			Pid:  1,
+			Tid:  0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChrome parses data as Chrome trace-event JSON and checks the
+// minimal schema rootbench emits: at least one metadata and one
+// complete event, every event carrying a phase type. It is the test
+// and CI helper for validating emitted trace files.
+func ValidateChrome(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: invalid chrome trace JSON: %w", err)
+	}
+	var complete, meta int
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("trace: event %d (%q) has no phase type", i, ev.Name)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d (%q) has negative timestamp", i, ev.Name)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("trace: no complete (ph=X) events")
+	}
+	if meta == 0 {
+		return fmt.Errorf("trace: no thread metadata events")
+	}
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"realroots/internal/poly"
 	"realroots/internal/remseq"
 	"realroots/internal/sturm"
+	"realroots/internal/trace"
 )
 
 // Method selects the interval-refinement strategy.
@@ -80,7 +81,24 @@ type Options struct {
 	// the paper's §4 cost measure). A run that exceeds it aborts with
 	// ErrBudgetExceeded and a partial Result.
 	MaxBitOps int64
+	// Tracer, if non-nil, records a structured execution trace of the
+	// run: pipeline phase spans, per-worker task timelines, and queue
+	// depth samples. Create one with NewTracer, run the solver, then
+	// export with Tracer.WriteChrome (chrome://tracing / Perfetto JSON)
+	// or aggregate with Tracer.Summarize. A Tracer is for one run at a
+	// time; reuse across sequential runs concatenates their spans on a
+	// shared timeline. Nil (the default) disables tracing and adds no
+	// allocations to the solver hot path.
+	Tracer *Tracer
 }
+
+// Tracer records wall-clock spans of a solver run; see Options.Tracer.
+// Methods on a nil *Tracer are no-ops.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty Tracer whose epoch (trace time zero) is
+// the moment of the call.
+func NewTracer() *Tracer { return trace.New() }
 
 func (o *Options) coreOptions() core.Options {
 	opts := core.Options{Mu: 32, Method: interval.MethodHybrid}
@@ -93,6 +111,7 @@ func (o *Options) coreOptions() core.Options {
 	opts.Workers = o.Workers
 	opts.SequentialPrecompute = o.SequentialPrecompute
 	opts.MaxBitOps = o.MaxBitOps
+	opts.Tracer = o.Tracer
 	switch o.Method {
 	case Bisection:
 		opts.Method = interval.MethodBisection
@@ -361,7 +380,10 @@ func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options)
 		}
 		return nil
 	}
+	ctl := co.Tracer.Lane(trace.ControlLane, "control")
+	ctl.Begin("sturm", trace.CatTask)
 	ds, err := sturm.FindRootsStop(p, co.Mu, metrics.Ctx{C: &counters}, stop)
+	ctl.End()
 	if err != nil {
 		if core.IsResilience(err) {
 			return &Result{Degree: p.Degree(), Precision: co.Mu, Elapsed: time.Since(start)}, err
