@@ -131,19 +131,17 @@ func BenchmarkIntervalMethods(b *testing.B) {
 }
 
 // BenchmarkMulAlgorithms is ablation abl2: the paper's schoolbook "mp"
-// arithmetic against Karatsuba.
+// arithmetic against the subquadratic fast profile.
 func BenchmarkMulAlgorithms(b *testing.B) {
 	p := harness.Instance(1, 30)
-	for _, kar := range []bool{false, true} {
+	for _, prof := range []mp.Profile{mp.Schoolbook, mp.Fast} {
 		name := "schoolbook"
-		if kar {
+		if prof == mp.Fast {
 			name = "karatsuba"
 		}
 		b.Run(name, func(b *testing.B) {
-			mp.UseKaratsuba = kar
-			defer func() { mp.UseKaratsuba = false }()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.FindRoots(p, core.Options{Mu: 32}); err != nil {
+				if _, err := core.FindRoots(p, core.Options{Mu: 32, Profile: prof}); err != nil {
 					b.Fatal(err)
 				}
 			}

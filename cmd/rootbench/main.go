@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"realroots/internal/harness"
+	"realroots/internal/mp"
 )
 
 // simulateNotice is emitted as a header comment at the top of the
@@ -60,6 +61,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seeds    = fs.String("seeds", "", "comma-separated seed list")
 		reps     = fs.Int("reps", 0, "timing repetitions per cell (minimum is reported)")
 		checks   = fs.Int("checks", 0, "cap the conformance experiment's case count (0 = full suite)")
+		profile  = fs.String("profile", "schoolbook", "arithmetic profile: schoolbook (the paper's cost model), fast (subquadratic kernels), or both (grid JSON only: measure every cell under each)")
 		simulate = fs.Bool("simulate", runtime.NumCPU() == 1,
 			"simulate P virtual processors from the real task graph (for the times/speedups experiments on hosts with few cores; defaults to true on single-core hosts)")
 		traceOut   = fs.String("trace", "", "run one traced solve of the grid's largest cell and write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file; prints a utilization summary and skips -exp")
@@ -77,6 +79,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Ctx = ctx
 	cfg.Simulate = *simulate
+	switch *profile {
+	case "both":
+		cfg.GridProfiles = []mp.Profile{mp.Schoolbook, mp.Fast}
+	default:
+		pr, err := mp.ParseProfile(*profile)
+		if err != nil {
+			fmt.Fprintf(stderr, "rootbench: %v\n", err)
+			return 2
+		}
+		cfg.Profile = pr
+	}
 	if *degrees != "" {
 		v, err := parseInts(*degrees)
 		if err != nil {

@@ -104,8 +104,8 @@ func RandomSymmetric(r *rand.Rand, n int, bound int64) *Matrix {
 	return m
 }
 
-// mul returns the matrix product x·y.
-func mul(x, y *Matrix) *Matrix {
+// mul returns the matrix product x·y under the given arithmetic profile.
+func mul(x, y *Matrix, pr mp.Profile) *Matrix {
 	n := x.n
 	z := NewMatrix(n)
 	var t mp.Int
@@ -117,7 +117,7 @@ func mul(x, y *Matrix) *Matrix {
 				if xe.IsZero() || ye.IsZero() {
 					continue
 				}
-				t.Mul(xe, ye)
+				t.MulProfile(pr, xe, ye)
 				acc.Add(acc, &t)
 			}
 		}
@@ -145,7 +145,12 @@ func (m *Matrix) addScaledIdentity(c *mp.Int) {
 // CharPoly returns the characteristic polynomial det(λI - A) of A as a
 // monic integer polynomial in λ, computed by the Faddeev–LeVerrier
 // recurrence. All divisions in the recurrence are exact over ℤ.
-func CharPoly(a *Matrix) *poly.Poly {
+func CharPoly(a *Matrix) *poly.Poly { return CharPolyProfile(a, mp.Schoolbook) }
+
+// CharPolyProfile is CharPoly with the matrix products performed under
+// the given arithmetic profile. The result is identical for every
+// profile; only the multiplication algorithm differs.
+func CharPolyProfile(a *Matrix, pr mp.Profile) *poly.Poly {
 	n := a.n
 	// c[n] = 1; for k = 1..n:
 	//   M_k = A·(M_{k-1} + c_{n-k+1}·I)   (with M_0 such that M_1 = A)
@@ -158,7 +163,7 @@ func CharPoly(a *Matrix) *poly.Poly {
 			m = a
 		} else {
 			m.addScaledIdentity(c[n-k+1])
-			m = mul(a, m)
+			m = mul(a, m, pr)
 		}
 		tr := m.trace()
 		ck := new(mp.Int).Neg(tr)

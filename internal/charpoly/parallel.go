@@ -13,8 +13,16 @@ import (
 // dynamic-task-pool pattern as the solver's precomputation stage.
 // Results are identical to CharPoly.
 func CharPolyParallel(a *Matrix, pool *sched.Pool) *poly.Poly {
+	return CharPolyParallelProfile(a, pool, mp.Schoolbook)
+}
+
+// CharPolyParallelProfile is CharPolyParallel under the given arithmetic
+// profile: the entry products of each row task dispatch to the profile's
+// multiplication kernel. The profile rides in each task's closure — no
+// package state — so concurrent calls with different profiles are safe.
+func CharPolyParallelProfile(a *Matrix, pool *sched.Pool, pr mp.Profile) *poly.Poly {
 	if pool == nil {
-		return CharPoly(a)
+		return CharPolyProfile(a, pr)
 	}
 	n := a.n
 	c := make([]*mp.Int, n+1)
@@ -25,7 +33,7 @@ func CharPolyParallel(a *Matrix, pool *sched.Pool) *poly.Poly {
 			m = a
 		} else {
 			m.addScaledIdentity(c[n-k+1])
-			m = mulParallel(a, m, pool)
+			m = mulParallel(a, m, pool, pr)
 		}
 		tr := m.trace()
 		ck := new(mp.Int).Neg(tr)
@@ -38,7 +46,7 @@ func CharPolyParallel(a *Matrix, pool *sched.Pool) *poly.Poly {
 }
 
 // mulParallel computes x·y with one task per result row.
-func mulParallel(x, y *Matrix, pool *sched.Pool) *Matrix {
+func mulParallel(x, y *Matrix, pool *sched.Pool, pr mp.Profile) *Matrix {
 	n := x.n
 	z := NewMatrix(n)
 	pool.ParallelForTagged("charpoly", n, 1, func(i int) {
@@ -50,7 +58,7 @@ func mulParallel(x, y *Matrix, pool *sched.Pool) *Matrix {
 				if xe.IsZero() || ye.IsZero() {
 					continue
 				}
-				t.Mul(xe, ye)
+				t.MulProfile(pr, xe, ye)
 				acc.Add(acc, &t)
 			}
 		}

@@ -43,6 +43,13 @@ type Options struct {
 	// Grain batches coefficient tasks in the remainder stage; ≤ 0 means
 	// one coefficient per task.
 	Grain int
+	// Profile selects the big-integer arithmetic algorithms for this run:
+	// mp.Schoolbook (the zero value) is the paper's quadratic cost model,
+	// mp.Fast enables the subquadratic kernels. The profile is carried on
+	// the run's metrics.Ctx — never in package state — so concurrent runs
+	// with different profiles are race-free. Recorded operation counts
+	// and model bit costs are identical under both profiles.
+	Profile mp.Profile
 	// SimulateWorkers, when > 0, executes the task graph on one real
 	// worker while list-scheduling the measured task durations onto this
 	// many *virtual* processors (see sched.NewSimulatedPool). The
@@ -164,8 +171,8 @@ func FindRoots(p *poly.Poly, opts Options) (*Result, error) {
 	}
 	ps := p
 	squarefree := true
-	if !p.IsSquarefree() {
-		ps = p.SquarefreePart()
+	if !p.IsSquarefreeProfile(opts.Profile) {
+		ps = p.SquarefreePartProfile(opts.Profile)
 		squarefree = false
 	}
 	res, err := findRootsSquarefree(ps, opts)
@@ -213,7 +220,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	if opts.MaxBitOps > 0 && counters == nil {
 		counters = &metrics.Counters{} // budget metering needs a sink
 	}
-	mctx := metrics.Ctx{C: counters}
+	mctx := metrics.Ctx{C: counters, Profile: opts.Profile}
 	n := p.Degree()
 
 	ctx := opts.Ctx
@@ -597,7 +604,7 @@ func solveParallel(pool *sched.Pool, seq *remseq.Sequence, root *tree.Node, boun
 						polyDone(nd)
 						return
 					}
-					divisor := new(mp.Int).Mul(seq.Csq(nd.K), seq.Csq(nd.K-1))
+					divisor := new(mp.Int).MulProfile(tctx.Profile, seq.Csq(nd.K), seq.Csq(nd.K-1))
 					prod := new(tree.Matrix2)
 					prodGate := sched.NewGateTagged(pool, 4, "computepoly", func() {
 						tally.computePoly.Add(1)

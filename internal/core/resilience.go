@@ -66,6 +66,9 @@ func (o Options) Validate() error {
 	if o.MaxBitOps < 0 {
 		return &OptionError{Field: "MaxBitOps", Reason: fmt.Sprintf("negative budget %d", o.MaxBitOps)}
 	}
+	if !o.Profile.Valid() {
+		return &OptionError{Field: "Profile", Reason: fmt.Sprintf("unknown arithmetic profile %d", o.Profile)}
+	}
 	return nil
 }
 

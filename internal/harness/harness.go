@@ -47,6 +47,15 @@ type Config struct {
 	// conformance experiment; 0 runs the full ≥200-case suite. Tests set
 	// a small cap to stay fast.
 	ConformanceChecks int
+	// Profile selects the arithmetic profile every experiment solves
+	// under (default mp.Schoolbook — the paper's cost model, which the
+	// golden outputs assume). The abl2 ablation ignores it and compares
+	// both profiles directly.
+	Profile mp.Profile
+	// GridProfiles, when non-empty, makes the JSON grid experiment
+	// (RunGrid) measure every cell once per listed profile, tagging each
+	// cell with the profile name. Empty means just Profile.
+	GridProfiles []mp.Profile
 	// Ctx, if non-nil, interrupts the sweep: once it is done, every
 	// experiment returns ErrInterrupted at its next grid cell, and the
 	// in-flight solve itself is canceled through the solver's own
@@ -135,7 +144,7 @@ func (cfg Config) run(p *poly.Poly, mu uint, workers int, counters *metrics.Coun
 			cnt = counters
 		}
 		start := time.Now()
-		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt, Ctx: cfg.Ctx})
+		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt, Ctx: cfg.Ctx, Profile: cfg.Profile})
 		if err != nil {
 			if errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrDeadline) {
 				return 0, nil, ErrInterrupted
@@ -166,7 +175,7 @@ func (cfg Config) avgSeconds(n int, mu uint, workers int) (float64, error) {
 				if err := cfg.interrupted(); err != nil {
 					return 0, err
 				}
-				res, err := core.FindRoots(p, core.Options{Mu: mu, SimulateWorkers: workers})
+				res, err := core.FindRoots(p, core.Options{Mu: mu, SimulateWorkers: workers, Profile: cfg.Profile})
 				if err != nil {
 					return 0, fmt.Errorf("n=%d µ=%d P=%d seed=%d: %w", n, mu, workers, seed, err)
 				}
@@ -551,24 +560,21 @@ func Ablations(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "\nAblation 2: schoolbook vs Karatsuba multiplication (n=%d, µ=%d)\n", n, mu)
 	tw = tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "multiplier\ttime(s)\t")
-	for _, kar := range []bool{false, true} {
+	for _, prof := range []mp.Profile{mp.Schoolbook, mp.Fast} {
 		if err := cfg.interrupted(); err != nil {
 			return err
 		}
-		mp.UseKaratsuba = kar
 		start := time.Now()
-		if _, err := core.FindRoots(p, core.Options{Mu: mu}); err != nil {
-			mp.UseKaratsuba = false
+		if _, err := core.FindRoots(p, core.Options{Mu: mu, Profile: prof}); err != nil {
 			return err
 		}
 		el := time.Since(start).Seconds()
 		name := "schoolbook (paper's mp)"
-		if kar {
+		if prof == mp.Fast {
 			name = "karatsuba"
 		}
 		fmt.Fprintf(tw, "%s\t%.3f\t\n", name, el)
 	}
-	mp.UseKaratsuba = false
 	if err := tw.Flush(); err != nil {
 		return err
 	}

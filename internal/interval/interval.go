@@ -434,8 +434,7 @@ func (s *Solver) newton(lo, hi dyadic.Dyadic, sl int) dyadic.Dyadic {
 				}
 			}
 			num := new(mp.Int).Lsh(v, e)
-			ctx.C.AddDiv(ctx.Phase, num.BitLen(), dv.BitLen())
-			q := roundDiv(num, dv)
+			q := roundDiv(ctx, num, dv)
 			an := new(mp.Int).Lsh(a, e)
 			an.Sub(an, q)
 			next = dyadic.New(an, w+e)
@@ -542,9 +541,10 @@ func (s *Solver) newton(lo, hi dyadic.Dyadic, sl int) dyadic.Dyadic {
 	return s.finish(metrics.PhaseNewton, lo, hi, sl)
 }
 
-// roundDiv returns the integer nearest to a/b (ties away from zero).
-func roundDiv(a, b *mp.Int) *mp.Int {
-	q, r := new(mp.Int).QuoRem(a, b, new(mp.Int))
+// roundDiv returns the integer nearest to a/b (ties away from zero),
+// recording the division in ctx and dividing under its profile.
+func roundDiv(ctx metrics.Ctx, a, b *mp.Int) *mp.Int {
+	q, r := ctx.QuoRem(new(mp.Int), a, b, new(mp.Int))
 	if r.IsZero() {
 		return q
 	}

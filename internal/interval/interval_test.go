@@ -241,7 +241,7 @@ func TestRoundDiv(t *testing.T) {
 		{6, 3, 2}, {5, 2, 3}, {-5, 2, -3}, {1, 3, 0}, {2, 3, 1}, {-2, 3, -1}, {0, 5, 0},
 	}
 	for _, c := range cases {
-		if got := roundDiv(mp.NewInt(c[0]), mp.NewInt(c[1])).Int64(); got != c[2] {
+		if got := roundDiv(metrics.Ctx{}, mp.NewInt(c[0]), mp.NewInt(c[1])).Int64(); got != c[2] {
 			t.Errorf("roundDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
 		}
 	}

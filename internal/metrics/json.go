@@ -14,13 +14,18 @@ import (
 
 // phaseJSON is the wire form of one PhaseReport.
 type phaseJSON struct {
-	Muls    int64   `json:"muls"`
-	MulBits int64   `json:"mulBits"`
-	Divs    int64   `json:"divs"`
-	DivBits int64   `json:"divBits"`
-	Adds    int64   `json:"adds"`
-	Evals   int64   `json:"evals"`
-	BitLen  []int64 `json:"bitlenHist,omitempty"`
+	Muls    int64 `json:"muls"`
+	MulBits int64 `json:"mulBits"`
+	Divs    int64 `json:"divs"`
+	DivBits int64 `json:"divBits"`
+	Adds    int64 `json:"adds"`
+	Evals   int64 `json:"evals"`
+	// Actual-cost estimates under the run's arithmetic profile; omitted
+	// when equal to the model cost (the schoolbook-profile case), which
+	// also keeps pre-profile snapshots and their readers compatible.
+	MulBitsActual int64   `json:"mulBitsActual,omitempty"`
+	DivBitsActual int64   `json:"divBitsActual,omitempty"`
+	BitLen        []int64 `json:"bitlenHist,omitempty"`
 }
 
 func (p PhaseReport) toJSON() phaseJSON {
@@ -31,6 +36,12 @@ func (p PhaseReport) toJSON() phaseJSON {
 		DivBits: p.DivBits,
 		Adds:    p.Adds,
 		Evals:   p.Evals,
+	}
+	if p.MulBitsActual != p.MulBits {
+		j.MulBitsActual = p.MulBitsActual
+	}
+	if p.DivBitsActual != p.DivBits {
+		j.DivBitsActual = p.DivBitsActual
 	}
 	last := -1
 	for b := 0; b < BitLenBuckets; b++ {
@@ -46,12 +57,22 @@ func (p PhaseReport) toJSON() phaseJSON {
 
 func (j phaseJSON) toReport() (PhaseReport, error) {
 	p := PhaseReport{
-		Muls:    j.Muls,
-		MulBits: j.MulBits,
-		Divs:    j.Divs,
-		DivBits: j.DivBits,
-		Adds:    j.Adds,
-		Evals:   j.Evals,
+		Muls:          j.Muls,
+		MulBits:       j.MulBits,
+		Divs:          j.Divs,
+		DivBits:       j.DivBits,
+		Adds:          j.Adds,
+		Evals:         j.Evals,
+		MulBitsActual: j.MulBitsActual,
+		DivBitsActual: j.DivBitsActual,
+	}
+	// Absent actual-cost fields (including all pre-profile snapshots)
+	// mean "same as the model cost".
+	if p.MulBitsActual == 0 {
+		p.MulBitsActual = p.MulBits
+	}
+	if p.DivBitsActual == 0 {
+		p.DivBitsActual = p.DivBits
 	}
 	if len(j.BitLen) > BitLenBuckets {
 		return p, fmt.Errorf("metrics: bitlenHist has %d buckets, max %d", len(j.BitLen), BitLenBuckets)

@@ -199,3 +199,58 @@ func TestAddMulNoAllocs(t *testing.T) {
 		t.Errorf("AddMul/AddDiv allocate %.1f objects/op, want 0", n)
 	}
 }
+
+// TestActualCostSplit verifies that model cost (the paper's schoolbook
+// measure) and actual cost are tracked independently, that the budget is
+// charged model cost regardless of profile, and that the distinction
+// survives the JSON round trip.
+func TestActualCostSplit(t *testing.T) {
+	var c Counters
+	c.AddMulCost(PhaseRemainder, 100, 90, 4000)
+	c.AddDivCost(PhaseRemainder, 50, 10, 120)
+	r := c.Snapshot()
+	pr := r.Phases[PhaseRemainder]
+	if pr.MulBits != 9000 || pr.MulBitsActual != 4000 {
+		t.Errorf("mul cost split = %d/%d, want 9000/4000", pr.MulBits, pr.MulBitsActual)
+	}
+	if pr.DivBits != 500 || pr.DivBitsActual != 120 {
+		t.Errorf("div cost split = %d/%d, want 500/120", pr.DivBits, pr.DivBitsActual)
+	}
+	// The budget aggregates model bits, not actual bits.
+	if got := c.BitOps(); got != 9500 {
+		t.Errorf("BitOps = %d, want model total 9500", got)
+	}
+	tot := r.Total()
+	if tot.MulBitsActual != 4000 || tot.DivBitsActual != 120 {
+		t.Errorf("total actual = %d/%d", tot.MulBitsActual, tot.DivBitsActual)
+	}
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"mulBitsActual":4000`) {
+		t.Errorf("JSON missing actual cost: %s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back.Phases[PhaseRemainder], pr)
+	}
+}
+
+// TestActualCostDefaults verifies the compatibility rule: snapshots
+// written before the split (no actual fields) unmarshal with actual
+// equal to model.
+func TestActualCostDefaults(t *testing.T) {
+	var r Report
+	if err := json.Unmarshal([]byte(`{"phases":{"tree":{"muls":2,"mulBits":64,"divs":1,"divBits":8}}}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	pr := r.Phases[PhaseTree]
+	if pr.MulBitsActual != 64 || pr.DivBitsActual != 8 {
+		t.Errorf("legacy snapshot actual = %d/%d, want 64/8", pr.MulBitsActual, pr.DivBitsActual)
+	}
+}

@@ -103,6 +103,13 @@ type Counters struct {
 	add     [NumPhases]atomic.Int64 // number of additions/subtractions
 	evals   [NumPhases]atomic.Int64 // number of full polynomial evaluations
 
+	// Actual-cost estimates (see AddMulCost): Σ over operations of the
+	// cost of the algorithm the arithmetic profile actually ran, as
+	// opposed to the paper's schoolbook model cost in mulBits/divBits.
+	// Equal to the model sums under the schoolbook profile.
+	mulBitsActual [NumPhases]atomic.Int64
+	divBitsActual [NumPhases]atomic.Int64
+
 	// hist is the per-phase operand-size distribution: for every
 	// multiplication and division, the log₂ bucket of the larger
 	// operand's bit length (see BitLenBuckets).
@@ -168,26 +175,46 @@ func (c *Counters) noteHist(p Phase, xbits, ybits int) {
 	c.hist[p][bitLenBucket(xbits)].Add(1)
 }
 
-// AddMul records one multiplication of xbits-by-ybits operands in phase p.
+// AddMul records one multiplication of xbits-by-ybits operands in phase
+// p, with the actual cost equal to the schoolbook model cost.
 func (c *Counters) AddMul(p Phase, xbits, ybits int) {
+	c.AddMulCost(p, xbits, ybits, int64(xbits)*int64(ybits))
+}
+
+// AddMulCost records one multiplication of xbits-by-ybits operands in
+// phase p. Its modeled cost — the paper's §4 bit-complexity measure,
+// which assumes schoolbook arithmetic — is xbits·ybits; actual is the
+// cost estimate for the algorithm the run's arithmetic profile really
+// executed (Profile.MulCost). The budget armed by SetBudget is always
+// charged the model cost, so budget semantics are profile-independent.
+func (c *Counters) AddMulCost(p Phase, xbits, ybits int, actual int64) {
 	if c == nil {
 		return
 	}
 	c.mul[p].Add(1)
 	bits := int64(xbits) * int64(ybits)
 	c.mulBits[p].Add(bits)
+	c.mulBitsActual[p].Add(actual)
 	c.noteHist(p, xbits, ybits)
 	c.noteBits(bits)
 }
 
-// AddDiv records one division in phase p.
+// AddDiv records one division in phase p, with the actual cost equal to
+// the schoolbook model cost.
 func (c *Counters) AddDiv(p Phase, xbits, ybits int) {
+	c.AddDivCost(p, xbits, ybits, int64(xbits)*int64(ybits))
+}
+
+// AddDivCost records one division in phase p with an explicit actual
+// cost; see AddMulCost.
+func (c *Counters) AddDivCost(p Phase, xbits, ybits int, actual int64) {
 	if c == nil {
 		return
 	}
 	c.div[p].Add(1)
 	bits := int64(xbits) * int64(ybits)
 	c.divBits[p].Add(bits)
+	c.divBitsActual[p].Add(actual)
 	c.noteHist(p, xbits, ybits)
 	c.noteBits(bits)
 }
@@ -219,6 +246,8 @@ func (c *Counters) Reset() {
 		c.mulBits[p].Store(0)
 		c.div[p].Store(0)
 		c.divBits[p].Store(0)
+		c.mulBitsActual[p].Store(0)
+		c.divBitsActual[p].Store(0)
 		c.add[p].Store(0)
 		c.evals[p].Store(0)
 		for b := 0; b < BitLenBuckets; b++ {
@@ -237,6 +266,13 @@ type PhaseReport struct {
 	DivBits int64
 	Adds    int64
 	Evals   int64
+	// MulBitsActual/DivBitsActual estimate the cost of the arithmetic
+	// actually executed under the run's profile (equal to MulBits/DivBits
+	// under the schoolbook profile). Keeping both lets the ablation
+	// experiments report the paper's model cost and the realized cost
+	// side by side instead of silently conflating them.
+	MulBitsActual int64
+	DivBitsActual int64
 	// BitLen is the operand-size distribution of the phase's
 	// multiplications and divisions in log₂ buckets: BitLen[b] counts
 	// operations whose larger operand's bit length falls in
@@ -261,12 +297,14 @@ func (c *Counters) Snapshot() Report {
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		pr := PhaseReport{
-			Muls:    c.mul[p].Load(),
-			MulBits: c.mulBits[p].Load(),
-			Divs:    c.div[p].Load(),
-			DivBits: c.divBits[p].Load(),
-			Adds:    c.add[p].Load(),
-			Evals:   c.evals[p].Load(),
+			Muls:          c.mul[p].Load(),
+			MulBits:       c.mulBits[p].Load(),
+			Divs:          c.div[p].Load(),
+			DivBits:       c.divBits[p].Load(),
+			Adds:          c.add[p].Load(),
+			Evals:         c.evals[p].Load(),
+			MulBitsActual: c.mulBitsActual[p].Load(),
+			DivBitsActual: c.divBitsActual[p].Load(),
 		}
 		for b := 0; b < BitLenBuckets; b++ {
 			pr.BitLen[b] = c.hist[p][b].Load()
@@ -284,6 +322,8 @@ func (t *PhaseReport) accum(p PhaseReport) {
 	t.DivBits += p.DivBits
 	t.Adds += p.Adds
 	t.Evals += p.Evals
+	t.MulBitsActual += p.MulBitsActual
+	t.DivBitsActual += p.DivBitsActual
 	for b := 0; b < BitLenBuckets; b++ {
 		t.BitLen[b] += p.BitLen[b]
 	}
@@ -313,12 +353,14 @@ func (r Report) Sub(old Report) Report {
 	for p := Phase(0); p < NumPhases; p++ {
 		a, b := r.Phases[p], old.Phases[p]
 		pr := PhaseReport{
-			Muls:    a.Muls - b.Muls,
-			MulBits: a.MulBits - b.MulBits,
-			Divs:    a.Divs - b.Divs,
-			DivBits: a.DivBits - b.DivBits,
-			Adds:    a.Adds - b.Adds,
-			Evals:   a.Evals - b.Evals,
+			Muls:          a.Muls - b.Muls,
+			MulBits:       a.MulBits - b.MulBits,
+			Divs:          a.Divs - b.Divs,
+			DivBits:       a.DivBits - b.DivBits,
+			Adds:          a.Adds - b.Adds,
+			Evals:         a.Evals - b.Evals,
+			MulBitsActual: a.MulBitsActual - b.MulBitsActual,
+			DivBitsActual: a.DivBitsActual - b.DivBitsActual,
 		}
 		for bk := 0; bk < BitLenBuckets; bk++ {
 			pr.BitLen[bk] = a.BitLen[bk] - b.BitLen[bk]

@@ -208,3 +208,41 @@ func TestResetRearmsBudget(t *testing.T) {
 		t.Fatal("budget not re-armed after Reset")
 	}
 }
+
+// TestCtxProfileDispatch checks that a Ctx carrying the Fast profile
+// records the same operation counts and model cost as a schoolbook Ctx
+// (paper-mode traces are profile-independent) while reporting a smaller
+// actual cost on operands past the Karatsuba threshold.
+func TestCtxProfileDispatch(t *testing.T) {
+	mk := func(pr mp.Profile) (Report, *mp.Int) {
+		var c Counters
+		ctx := Ctx{C: &c, Phase: PhaseTree, Profile: pr}
+		x := new(mp.Int).Lsh(mp.NewInt(1), 20000)
+		x.Sub(x, mp.NewInt(12345))
+		z := ctx.Mul(x, x)
+		ctx.DivExact(z, x)
+		return c.Snapshot(), z
+	}
+	rs, zs := mk(mp.Schoolbook)
+	rf, zf := mk(mp.Fast)
+	if zs.Cmp(zf) != 0 {
+		t.Fatal("profiles disagree on the product")
+	}
+	ps, pf := rs.Phases[PhaseTree], rf.Phases[PhaseTree]
+	if ps.Muls != pf.Muls || ps.MulBits != pf.MulBits || ps.Divs != pf.Divs || ps.DivBits != pf.DivBits {
+		t.Errorf("model-side recording differs across profiles:\n schoolbook %+v\n fast %+v", ps, pf)
+	}
+	if ps.MulBitsActual != ps.MulBits {
+		t.Errorf("schoolbook actual %d != model %d", ps.MulBitsActual, ps.MulBits)
+	}
+	if pf.MulBitsActual >= pf.MulBits {
+		t.Errorf("fast actual mul cost %d not below model %d at 20000 bits", pf.MulBitsActual, pf.MulBits)
+	}
+	if pf.DivBitsActual >= pf.DivBits {
+		t.Errorf("fast actual div cost %d not below model %d at 20000 bits", pf.DivBitsActual, pf.DivBits)
+	}
+	// In(p) must preserve the profile.
+	if got := (Ctx{Profile: mp.Fast}).In(PhaseSort).Profile; got != mp.Fast {
+		t.Errorf("In dropped the profile: %v", got)
+	}
+}

@@ -27,13 +27,36 @@ func BenchmarkMulKaratsuba(b *testing.B) {
 	for _, bits := range []int{1024, 4096, 16384} {
 		x, y := benchOperands(bits)
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
-			UseKaratsuba = true
-			defer func() { UseKaratsuba = false }()
 			var z Int
 			for i := 0; i < b.N; i++ {
-				z.Mul(x, y)
+				z.MulProfile(Fast, x, y)
 			}
 		})
+	}
+}
+
+// BenchmarkMulUnbalanced pits the two profiles against each other on the
+// 24-limb × 10000-limb shape where the old min-split Karatsuba recursion
+// degenerated to worse than schoolbook; with block decomposition the
+// Fast profile must win (or tie, via its schoolbook fallback below the
+// threshold) on every shape.
+func BenchmarkMulUnbalanced(b *testing.B) {
+	shapes := [][2]int{
+		{24 * limbBits, 10000 * limbBits},
+		{100 * limbBits, 10000 * limbBits},
+		{500 * limbBits, 10000 * limbBits},
+	}
+	for _, s := range shapes {
+		x, _ := benchOperands(s[0])
+		y, _ := benchOperands(s[1])
+		for _, pr := range []Profile{Schoolbook, Fast} {
+			b.Run(fmt.Sprintf("limbs=%dx%d/%v", s[0]/limbBits, s[1]/limbBits, pr), func(b *testing.B) {
+				var z Int
+				for i := 0; i < b.N; i++ {
+					z.MulProfile(pr, x, y)
+				}
+			})
+		}
 	}
 }
 
@@ -47,6 +70,23 @@ func BenchmarkDiv(b *testing.B) {
 				q.QuoRem(x, y, &r)
 			}
 		})
+	}
+}
+
+// BenchmarkDivFast compares Knuth Algorithm D with Burnikel–Ziegler
+// division on dividend/divisor shapes above the recursion threshold.
+func BenchmarkDivFast(b *testing.B) {
+	for _, bits := range []int{4 * fastDivThreshold * limbBits, 16 * fastDivThreshold * limbBits} {
+		x, _ := benchOperands(2 * bits)
+		y, _ := benchOperands(bits)
+		for _, pr := range []Profile{Schoolbook, Fast} {
+			b.Run(fmt.Sprintf("bits=%d/%v", bits, pr), func(b *testing.B) {
+				var q, r Int
+				for i := 0; i < b.N; i++ {
+					q.QuoRemProfile(pr, x, y, &r)
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,126 @@
+package mp
+
+import "math/bits"
+
+// 64-bit packed Knuth division for the Fast profile: the base-case
+// divider under the Burnikel–Ziegler recursion (div.go) and the whole
+// division when the quotient is too short for the recursion to pay.
+// Identical mathematics to natDiv — Algorithm D — but over packed
+// limbs, quartering the hardware multiply/divide count. Only reachable
+// from natDivFast; the Schoolbook profile never packs.
+
+// shl64 returns x << s for 0 ≤ s < 64, with room for the overflow bits.
+func shl64(x []uint64, s uint) []uint64 {
+	z := make([]uint64, len(x)+1)
+	var carry uint64
+	for i, v := range x {
+		z[i] = v<<s | carry
+		// s == 0 makes the complementary shift 64, which Go defines as
+		// producing 0 — exactly the no-carry case.
+		carry = v >> (64 - s)
+	}
+	z[len(x)] = carry
+	return z
+}
+
+// shr64 returns x >> s for 0 ≤ s < 64.
+func shr64(x []uint64, s uint) []uint64 {
+	z := make([]uint64, len(x))
+	for i, v := range x {
+		z[i] = v >> s
+		if i+1 < len(x) {
+			z[i] |= x[i+1] << (64 - s)
+		}
+	}
+	return norm64(z)
+}
+
+// div64Knuth returns the quotient and remainder of u / v over 64-bit
+// limbs (v non-empty, canonical). Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+func div64Knuth(u, v []uint64) (q, r []uint64) {
+	n := len(v)
+	if len(u) < n || (len(u) == n && cmp64(u, v) < 0) {
+		return nil, u
+	}
+	if n == 1 {
+		q = make([]uint64, len(u))
+		var rem uint64
+		for i := len(u) - 1; i >= 0; i-- {
+			q[i], rem = bits.Div64(rem, u[i], v[0])
+		}
+		return norm64(q), norm64([]uint64{rem})
+	}
+
+	// D1: normalize so the divisor's top bit is set.
+	s := uint(bits.LeadingZeros64(v[n-1]))
+	vn := norm64(shl64(v, s)) // exactly n limbs: the shift cannot overflow
+	un := shl64(u, s)         // len(u)+1 limbs, top may be zero
+	m := len(un) - 1 - n
+
+	q = make([]uint64, m+1)
+	for j := m; j >= 0; j-- {
+		// D3: estimate the quotient digit from the top limbs.
+		qhat := ^uint64(0)
+		if un[j+n] != vn[n-1] {
+			var rhat uint64
+			qhat, rhat = bits.Div64(un[j+n], un[j+n-1], vn[n-1])
+			for {
+				hi, lo := bits.Mul64(qhat, vn[n-2])
+				if hi < rhat || (hi == rhat && lo <= un[j+n-2]) {
+					break
+				}
+				qhat--
+				rhat += vn[n-1]
+				if rhat < vn[n-1] { // rhat overflowed: estimate settled
+					break
+				}
+			}
+		}
+		// D4: multiply and subtract.
+		var borrow, mulCarry uint64
+		for i := 0; i < n; i++ {
+			hi, lo := bits.Mul64(qhat, vn[i])
+			lo, c := bits.Add64(lo, mulCarry, 0)
+			hi += c
+			un[j+i], borrow = bits.Sub64(un[j+i], lo, borrow)
+			mulCarry = hi
+		}
+		un[j+n], borrow = bits.Sub64(un[j+n], mulCarry, borrow)
+		if borrow != 0 {
+			// D6: qhat was one too large; add the divisor back.
+			qhat--
+			var carry uint64
+			for i := 0; i < n; i++ {
+				un[j+i], carry = bits.Add64(un[j+i], vn[i], carry)
+			}
+			un[j+n] += carry
+		}
+		q[j] = qhat
+	}
+	return norm64(q), shr64(norm64(un[:n]), s)
+}
+
+// cmp64 compares canonical packed values.
+func cmp64(x, y []uint64) int {
+	if len(x) != len(y) {
+		if len(x) < len(y) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		if x[i] != y[i] {
+			if x[i] < y[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// natDivKnuth64 is div64Knuth with 32-bit ends: pack, divide, unpack.
+func natDivKnuth64(u, v nat) (q, r nat) {
+	q64, r64 := div64Knuth(norm64(natTo64(u)), norm64(natTo64(v)))
+	return nat64To32(q64), nat64To32(r64)
+}

@@ -1,0 +1,61 @@
+package mp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randNatBits(r *rand.Rand, bits int) nat {
+	n := (bits + 31) / 32
+	x := make(nat, n)
+	for i := range x {
+		x[i] = r.Uint32()
+	}
+	x[n-1] |= 1 << 31
+	return x.norm()
+}
+
+// BenchmarkDivShapes compares the schoolbook and fast dividers across
+// the dividend/divisor shapes the solver produces: long-quotient (BZ
+// recursion applies), very unbalanced (packed Algorithm D fallback),
+// and near-balanced (short quotient).
+func BenchmarkDivShapes(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for _, sh := range [][2]int{{30000, 7000}, {20000, 2000}, {40000, 20000}, {10000, 5000}} {
+		u := randNatBits(r, sh[0])
+		v := randNatBits(r, sh[1])
+		name := fmt.Sprintf("%dby%d", sh[0], sh[1])
+		b.Run(name+"/knuth", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				natDiv(u, v)
+			}
+		})
+		b.Run(name+"/fast", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				natDivFast(u, v)
+			}
+		})
+	}
+}
+
+// BenchmarkGCDProfiles compares the Euclidean remainder loop against
+// the packed binary GCD on PRS-sized coefficients.
+func BenchmarkGCDProfiles(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	for _, bitsz := range []int{2000, 10000, 30000} {
+		x := &Int{abs: randNatBits(r, bitsz)}
+		y := &Int{abs: randNatBits(r, bitsz)}
+		name := fmt.Sprintf("%dbits", bitsz)
+		b.Run(name+"/euclid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				new(Int).GCD(x, y)
+			}
+		})
+		b.Run(name+"/binary", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				new(Int).GCDProfile(Fast, x, y)
+			}
+		})
+	}
+}

@@ -59,6 +59,115 @@ func FuzzQuoRemIdentity(f *testing.F) {
 	})
 }
 
+// stretch expands a fuzz byte pattern by repetition so the resulting
+// operand crosses the karatsubaThreshold / fastDivThreshold limb counts
+// that the subquadratic kernels switch on (raw fuzz inputs are capped at
+// 64 bytes = 16 limbs, far below either threshold).
+func stretch(b []byte, rep uint16) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	n := int(rep)%48 + 1
+	out := make([]byte, 0, n*len(b))
+	for i := 0; i < n; i++ {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// FuzzFastMulVsBig cross-checks the Fast profile's multiplication
+// against math/big on operands spanning the schoolbook/Karatsuba
+// threshold, including aliased receivers (z.Op(z, z)).
+func FuzzFastMulVsBig(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{0xff, 0xfe}, uint16(40), uint16(3), false, true)
+	f.Add([]byte{0xff}, []byte{0xff}, uint16(47), uint16(47), true, true)
+	f.Add([]byte{7, 0, 0, 0, 1}, []byte{9}, uint16(2), uint16(40), false, false)
+	f.Fuzz(func(t *testing.T, xb, yb []byte, xrep, yrep uint16, xneg, yneg bool) {
+		if len(xb) > 64 || len(yb) > 64 {
+			return
+		}
+		x := new(Int).SetBig(new(big.Int).SetBytes(stretch(xb, xrep)))
+		y := new(Int).SetBig(new(big.Int).SetBytes(stretch(yb, yrep)))
+		if xneg {
+			x.Neg(x)
+		}
+		if yneg {
+			y.Neg(y)
+		}
+		want := new(big.Int).Mul(x.ToBig(), y.ToBig())
+		if got := new(Int).MulProfile(Fast, x, y); got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("fast mul mismatch at %d×%d bits", x.BitLen(), y.BitLen())
+		}
+		// Aliased: z.MulProfile(z, z) must square in place.
+		wsq := new(big.Int).Mul(x.ToBig(), x.ToBig())
+		z := new(Int).Set(x)
+		if z.MulProfile(Fast, z, z); z.ToBig().Cmp(wsq) != 0 {
+			t.Fatalf("fast aliased square mismatch at %d bits", x.BitLen())
+		}
+	})
+}
+
+// FuzzFastDivVsBig cross-checks the Fast profile's division against
+// math/big on operands spanning the Burnikel–Ziegler threshold,
+// including a receiver aliased with the dividend.
+func FuzzFastDivVsBig(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4}, []byte{1, 2, 3}, uint16(47), uint16(44), false)
+	f.Add([]byte{0xff, 0xff, 0xff}, []byte{0xff, 0xff}, uint16(40), uint16(20), true)
+	f.Add([]byte{1}, []byte{3}, uint16(47), uint16(2), false)
+	f.Fuzz(func(t *testing.T, ub, vb []byte, urep, vrep uint16, uneg bool) {
+		if len(ub) > 64 || len(vb) > 64 {
+			return
+		}
+		u := new(Int).SetBig(new(big.Int).SetBytes(stretch(ub, urep)))
+		v := new(Int).SetBig(new(big.Int).SetBytes(stretch(vb, vrep)))
+		if v.IsZero() {
+			return
+		}
+		if uneg {
+			u.Neg(u)
+		}
+		wq, wr := new(big.Int).QuoRem(u.ToBig(), v.ToBig(), new(big.Int))
+		q, r := new(Int).QuoRemProfile(Fast, u, v, new(Int))
+		if q.ToBig().Cmp(wq) != 0 || r.ToBig().Cmp(wr) != 0 {
+			t.Fatalf("fast div mismatch at %d/%d bits", u.BitLen(), v.BitLen())
+		}
+		// Aliased: quotient receiver aliasing the dividend.
+		z := new(Int).Set(u)
+		var rem Int
+		z.QuoRemProfile(Fast, z, v, &rem)
+		if z.ToBig().Cmp(wq) != 0 || rem.ToBig().Cmp(wr) != 0 {
+			t.Fatalf("fast aliased div mismatch at %d/%d bits", u.BitLen(), v.BitLen())
+		}
+	})
+}
+
+// FuzzFastGCDVsBig cross-checks the Fast profile's binary GCD against
+// math/big, including the receiver-aliases-operand pattern used by
+// Poly.Content (g.GCDProfile(pr, g, ci)).
+func FuzzFastGCDVsBig(f *testing.F) {
+	f.Add([]byte{12}, []byte{18}, uint16(1), uint16(1), false)
+	f.Add([]byte{0xff, 0, 0xff}, []byte{0xf0}, uint16(40), uint16(30), true)
+	f.Add([]byte{6, 6, 6}, []byte{}, uint16(9), uint16(0), false)
+	f.Fuzz(func(t *testing.T, xb, yb []byte, xrep, yrep uint16, xneg bool) {
+		if len(xb) > 64 || len(yb) > 64 {
+			return
+		}
+		x := new(Int).SetBig(new(big.Int).SetBytes(stretch(xb, xrep)))
+		y := new(Int).SetBig(new(big.Int).SetBytes(stretch(yb, yrep)))
+		if xneg {
+			x.Neg(x)
+		}
+		want := new(big.Int).GCD(nil, nil, new(big.Int).Abs(x.ToBig()), new(big.Int).Abs(y.ToBig()))
+		if got := new(Int).GCDProfile(Fast, x, y); got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("fast gcd mismatch at %d,%d bits", x.BitLen(), y.BitLen())
+		}
+		z := new(Int).Set(x)
+		if z.GCDProfile(Fast, z, y); z.ToBig().Cmp(want) != 0 {
+			t.Fatalf("fast aliased gcd mismatch at %d,%d bits", x.BitLen(), y.BitLen())
+		}
+	})
+}
+
 func FuzzAddSubInverse(f *testing.F) {
 	f.Add([]byte{1}, []byte{2}, false, true)
 	f.Fuzz(func(t *testing.T, xb, yb []byte, xneg, yneg bool) {

@@ -1,0 +1,90 @@
+package mp
+
+import "math/bits"
+
+// Packed binary GCD (Stein's algorithm) for the Fast profile. The
+// Euclidean GCD in int.go divides repeatedly — cheap per step, but each
+// 32-bit Algorithm D call re-normalizes the whole dividend. For the
+// multi-thousand-bit coefficients produced by pseudo-remainder
+// sequences, replacing division with word-level subtract-and-shift over
+// 64-bit limbs is several times faster.
+
+// tzBits64 returns the number of trailing zero bits of the non-zero
+// packed value x.
+func tzBits64(x []uint64) int {
+	for i, v := range x {
+		if v != 0 {
+			return i*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return 0
+}
+
+// shlN64 returns x << s for arbitrary s ≥ 0.
+func shlN64(x []uint64, s uint) []uint64 {
+	if len(x) == 0 {
+		return nil
+	}
+	w, b := int(s/64), s%64
+	z := make([]uint64, len(x)+w+1)
+	for i, v := range x {
+		z[i+w] |= v << b
+		if b != 0 {
+			z[i+w+1] = v >> (64 - b)
+		}
+	}
+	return norm64(z)
+}
+
+// shrInPlace64 shifts x right by s bits in place and returns the
+// canonical result (a prefix of x's backing array).
+func shrInPlace64(x []uint64, s uint) []uint64 {
+	w, b := int(s/64), s%64
+	if w >= len(x) {
+		return nil
+	}
+	n := len(x) - w
+	for i := 0; i < n; i++ {
+		x[i] = x[i+w] >> b
+		if b != 0 && i+w+1 < len(x) {
+			x[i] |= x[i+w+1] << (64 - b)
+		}
+	}
+	return norm64(x[:n])
+}
+
+// gcd64 returns gcd(a, b) of canonical packed values, consuming both
+// slices as scratch space.
+func gcd64(a, b []uint64) []uint64 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	az, bz := tzBits64(a), tzBits64(b)
+	shift := az
+	if bz < shift {
+		shift = bz
+	}
+	a = shrInPlace64(a, uint(az))
+	b = shrInPlace64(b, uint(bz))
+	// Invariant: a and b odd, so a-b is even and the shift below makes
+	// progress every iteration.
+	for cmp64(a, b) != 0 {
+		if cmp64(a, b) < 0 {
+			a, b = b, a
+		}
+		var borrow uint64
+		for i := range a {
+			var bi uint64
+			if i < len(b) {
+				bi = b[i]
+			}
+			a[i], borrow = bits.Sub64(a[i], bi, borrow)
+		}
+		a = norm64(a)
+		a = shrInPlace64(a, uint(tzBits64(a)))
+	}
+	return shlN64(a, uint(shift))
+}

@@ -13,19 +13,6 @@ type Int struct {
 	abs nat
 }
 
-// UseKaratsuba selects the multiplication algorithm for the whole package.
-// The default (false) is the schoolbook method, matching the UNIX "mp"
-// package used by the paper; set true only for ablation experiments. It
-// must not be toggled concurrently with arithmetic.
-var UseKaratsuba = false
-
-func natMul(x, y nat) nat {
-	if UseKaratsuba {
-		return natMulKaratsuba(x, y)
-	}
-	return natMulBasic(x, y)
-}
-
 // NewInt returns a new Int set to v.
 func NewInt(v int64) *Int {
 	return new(Int).SetInt64(v)
@@ -151,10 +138,16 @@ func (z *Int) Sub(x, y *Int) *Int {
 	return z
 }
 
-// Mul sets z to x*y and returns z.
-func (z *Int) Mul(x, y *Int) *Int {
+// Mul sets z to x*y using schoolbook multiplication (the paper's cost
+// model) and returns z. Use MulProfile to select the algorithm per run.
+func (z *Int) Mul(x, y *Int) *Int { return z.MulProfile(Schoolbook, x, y) }
+
+// MulProfile sets z to x*y using the arithmetic selected by pr and
+// returns z. The profile changes only the algorithm (and hence the
+// running time), never the result.
+func (z *Int) MulProfile(pr Profile, x, y *Int) *Int {
 	neg := x.neg != y.neg
-	z.abs = natMul(x.abs, y.abs)
+	z.abs = pr.mul(x.abs, y.abs)
 	z.neg = neg && len(z.abs) > 0
 	return z
 }
@@ -169,14 +162,22 @@ func (z *Int) MulInt64(x *Int, v int64) *Int {
 // Sqr sets z to x² and returns z.
 func (z *Int) Sqr(x *Int) *Int { return z.Mul(x, x) }
 
+// SqrProfile sets z to x² under profile pr and returns z.
+func (z *Int) SqrProfile(pr Profile, x *Int) *Int { return z.MulProfile(pr, x, x) }
+
 // QuoRem sets z to the quotient x/y and r to the remainder x%y with
 // truncation toward zero (Go semantics: sign of r matches x), and returns
 // (z, r). y must be non-zero. z and r must be distinct.
 func (z *Int) QuoRem(x, y *Int, r *Int) (*Int, *Int) {
+	return z.QuoRemProfile(Schoolbook, x, y, r)
+}
+
+// QuoRemProfile is QuoRem with the division algorithm selected by pr.
+func (z *Int) QuoRemProfile(pr Profile, x, y *Int, r *Int) (*Int, *Int) {
 	if z == r {
 		panic("mp: QuoRem requires distinct quotient and remainder")
 	}
-	q, rem := natDiv(x.abs, y.abs)
+	q, rem := pr.div(x.abs, y.abs)
 	xneg, yneg := x.neg, y.neg
 	z.abs = q
 	z.neg = len(q) > 0 && xneg != yneg
@@ -203,9 +204,12 @@ func (z *Int) Rem(x, y *Int) *Int {
 // returns z. It panics if the division leaves a remainder: in this
 // algorithm a non-exact division can only arise from corrupted state, so
 // it is treated as an invariant violation rather than an error value.
-func (z *Int) DivExact(x, y *Int) *Int {
+func (z *Int) DivExact(x, y *Int) *Int { return z.DivExactProfile(Schoolbook, x, y) }
+
+// DivExactProfile is DivExact with the division algorithm selected by pr.
+func (z *Int) DivExactProfile(pr Profile, x, y *Int) *Int {
 	var r Int
-	z.QuoRem(x, y, &r)
+	z.QuoRemProfile(pr, x, y, &r)
 	if !r.IsZero() {
 		panic(fmt.Sprintf("mp: DivExact: %s does not divide %s", y, x))
 	}
@@ -264,6 +268,18 @@ func (z *Int) GCD(x, y *Int) *Int {
 		b.Set(&r)
 	}
 	return z.Set(&a)
+}
+
+// GCDProfile is GCD computed with the profile's algorithms: the
+// Euclidean remainder loop above for Schoolbook, a packed binary GCD
+// for Fast once either operand is large enough to pack.
+func (z *Int) GCDProfile(pr Profile, x, y *Int) *Int {
+	if pr != Fast || (len(x.abs) < fastPackThreshold && len(y.abs) < fastPackThreshold) {
+		return z.GCD(x, y)
+	}
+	z.abs = nat64To32(gcd64(norm64(natTo64(x.abs)), norm64(natTo64(y.abs))))
+	z.neg = false
+	return z
 }
 
 // Int64 returns the int64 value of z; it panics if z does not fit.

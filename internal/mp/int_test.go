@@ -369,7 +369,7 @@ func TestKaratsubaMatchesSchoolbook(t *testing.T) {
 		x := RandNonNeg(r, 500+r.Intn(4000))
 		y := RandNonNeg(r, 500+r.Intn(4000))
 		basic := natMulBasic(x.abs, y.abs)
-		kar := natMulKaratsuba(x.abs, y.abs)
+		kar := natMulFast(x.abs, y.abs)
 		if natCmp(basic, kar) != 0 {
 			t.Fatalf("karatsuba mismatch at %d bits × %d bits", x.BitLen(), y.BitLen())
 		}
@@ -381,8 +381,133 @@ func TestKaratsubaUnbalanced(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		x := RandNonNeg(r, 100+r.Intn(500))
 		y := RandNonNeg(r, 3000+r.Intn(3000))
-		if natCmp(natMulBasic(x.abs, y.abs), natMulKaratsuba(x.abs, y.abs)) != 0 {
+		if natCmp(natMulBasic(x.abs, y.abs), natMulFast(x.abs, y.abs)) != 0 {
 			t.Fatalf("unbalanced karatsuba mismatch")
+		}
+	}
+}
+
+// TestKaratsubaExtremeUnbalanced exercises the block-decomposition path
+// (len(x) ≫ len(y)) at sizes where the old min-split recursion
+// degenerated, plus threshold-straddling and degenerate-split shapes.
+func TestKaratsubaExtremeUnbalanced(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	shapes := [][2]int{
+		{24 * limbBits, 10000 * limbBits}, // the shape from the bug report
+		{karatsubaThreshold * limbBits, 50 * karatsubaThreshold * limbBits},
+		{(karatsubaThreshold + 1) * limbBits, (2*karatsubaThreshold + 1) * limbBits},
+		{700, 700 * 37},
+		{2*karatsubaThreshold*limbBits - 1, 2 * karatsubaThreshold * limbBits}, // m == len(y) degenerate split
+	}
+	for _, s := range shapes {
+		x := RandNonNeg(r, s[0])
+		y := RandNonNeg(r, s[1])
+		if natCmp(natMulBasic(x.abs, y.abs), natMulFast(x.abs, y.abs)) != 0 {
+			t.Fatalf("mismatch at %d bits × %d bits", s[0], s[1])
+		}
+		// Blocks of the long operand that are all zero must be skipped
+		// correctly: zero a middle stretch of y.
+		for i := len(y.abs) / 3; i < 2*len(y.abs)/3; i++ {
+			y.abs[i] = 0
+		}
+		if natCmp(natMulBasic(x.abs, y.abs), natMulFast(x.abs, y.abs)) != 0 {
+			t.Fatalf("zero-block mismatch at %d bits × %d bits", s[0], s[1])
+		}
+	}
+}
+
+// TestFastDivMatchesKnuth cross-checks Burnikel–Ziegler division against
+// Algorithm D across balanced, unbalanced, and threshold-straddling
+// shapes, including exact divisions and remainders near the divisor.
+func TestFastDivMatchesKnuth(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	tb := fastDivThreshold * limbBits
+	shapes := [][2]int{
+		{4 * tb, 2 * tb},       // just past the threshold on both axes
+		{8 * tb, 2 * tb},       // long quotient
+		{3 * tb, tb + 1},       // divisor barely over threshold
+		{16 * tb, 5 * tb},      // odd base after padding
+		{2*tb + 17, tb + tb/2}, // ragged sizes
+	}
+	for _, s := range shapes {
+		u := RandNonNeg(r, s[0])
+		v := RandNonNeg(r, s[1])
+		if v.IsZero() {
+			continue
+		}
+		q1, r1 := natDiv(u.abs, v.abs)
+		q2, r2 := natDivFast(u.abs, v.abs)
+		if natCmp(q1, q2) != 0 || natCmp(r1, r2) != 0 {
+			t.Fatalf("div mismatch at %d / %d bits", s[0], s[1])
+		}
+		// Exact division: u2 = q1*v must divide with zero remainder.
+		u2 := natMulFast(q1, v.abs)
+		q3, r3 := natDivFast(u2, v.abs)
+		if natCmp(q3, q1) != 0 || len(r3) != 0 {
+			t.Fatalf("exact div mismatch at %d / %d bits", s[0], s[1])
+		}
+		// Remainder one below the divisor: u3 = q1*v + (v-1).
+		u3 := natAdd(u2, natSub(v.abs, nat{1}))
+		q4, r4 := natDivFast(u3, v.abs)
+		if natCmp(q4, q1) != 0 || natCmp(r4, natSub(v.abs, nat{1})) != 0 {
+			t.Fatalf("max-remainder div mismatch at %d / %d bits", s[0], s[1])
+		}
+	}
+}
+
+// TestProfileParse covers the Profile accessors used by config plumbing.
+func TestProfileParse(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want Profile
+	}{{"schoolbook", Schoolbook}, {"paper", Schoolbook}, {"fast", Fast}} {
+		got, err := ParseProfile(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseProfile(%q) = %v, %v; want %v", c.s, got, err, c.want)
+		}
+	}
+	if _, err := ParseProfile("quantum"); err == nil {
+		t.Error("ParseProfile(quantum) did not fail")
+	}
+	if !Schoolbook.Valid() || !Fast.Valid() || Profile(250).Valid() {
+		t.Error("Profile.Valid misclassifies")
+	}
+	if Schoolbook.String() != "schoolbook" || Fast.String() != "fast" {
+		t.Error("Profile.String mismatch")
+	}
+}
+
+// TestProfileOpsAliased exercises the profile-dispatched Int operations
+// with aliased receivers, which must behave like their math/big analogues.
+func TestProfileOpsAliased(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, pr := range []Profile{Schoolbook, Fast} {
+		for i := 0; i < 20; i++ {
+			x := RandNonNeg(r, 2000+r.Intn(3000))
+			// z.MulProfile(z, z) == x².
+			z := new(Int).Set(x)
+			z.MulProfile(pr, z, z)
+			want := new(Int).Sqr(x)
+			if z.Cmp(want) != 0 {
+				t.Fatalf("%v: aliased square mismatch", pr)
+			}
+			// z.QuoRemProfile(z, y, r) with z aliasing the dividend.
+			y := RandNonNeg(r, 1500+r.Intn(1000))
+			if y.IsZero() {
+				continue
+			}
+			q := new(Int).Set(want)
+			var rem Int
+			q.QuoRemProfile(pr, q, y, &rem)
+			wq, wr := new(Int).QuoRem(want, y, new(Int))
+			if q.Cmp(wq) != 0 || rem.Cmp(wr) != 0 {
+				t.Fatalf("%v: aliased quorem mismatch", pr)
+			}
+			// DivExactProfile round-trip.
+			prod := new(Int).MulProfile(pr, want, y)
+			if new(Int).DivExactProfile(pr, prod, y).Cmp(want) != 0 {
+				t.Fatalf("%v: DivExactProfile mismatch", pr)
+			}
 		}
 	}
 }

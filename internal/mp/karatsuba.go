@@ -1,65 +1,37 @@
 package mp
 
-// Karatsuba multiplication. The paper's arithmetic substrate (UNIX "mp")
-// used only schoolbook multiplication, and the paper's analysis assumes
-// quadratic multiplication cost, so Karatsuba is NOT used by default
-// anywhere in this repository. It exists for the ablation benchmark
-// (DESIGN.md, experiment abl2) that asks how much of the measured running
-// time is an artifact of the quadratic substrate.
+// Subquadratic multiplication for the Fast profile. The paper's
+// arithmetic substrate (UNIX "mp") used only schoolbook multiplication,
+// and the paper's analysis assumes quadratic multiplication cost, so
+// none of this is used by the Schoolbook (paper-mode) profile; it backs
+// Profile.Fast and the abl2 ablation.
+//
+// The kernels live in mul64.go and operate on 64-bit packed limbs:
+// block decomposition for unbalanced operands (the longer operand is
+// cut into blocks the size of the shorter one, so every recursion is
+// nearly balanced — the naive both-operands split barely shrinks the
+// long operand per level and degenerates to worse than schoolbook on,
+// say, a 24-limb × 10000-limb product), then Karatsuba above
+// kar64Threshold.
 
-// karatsubaThreshold is the limb count below which multiplication falls
-// back to the schoolbook method. 24 limbs ≈ 768 bits.
-const karatsubaThreshold = 24
+// karatsubaThreshold is the shorter-operand bit size, in 32-bit limbs,
+// at which the Karatsuba recursion engages (40 limbs = 1280 bits =
+// kar64Threshold packed limbs). Below it the packed schoolbook row
+// loop — and below fastPackThreshold the plain 32-bit loop — is
+// faster. Also the pivot of the Fast profile's MulCost estimate.
+const karatsubaThreshold = 40
 
-// natMulKaratsuba returns x*y using Karatsuba's O(n^1.585) recursion.
-func natMulKaratsuba(x, y nat) nat {
-	if len(x) < karatsubaThreshold || len(y) < karatsubaThreshold {
+// natMulFast returns x*y: the Fast profile's multiplication. Operands
+// above fastPackThreshold are packed into 64-bit limbs, quartering the
+// hardware multiply count relative to the 32-bit schoolbook loop, and
+// multiplied subquadratically (see mul64).
+func natMulFast(x, y nat) nat {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	// From here on x is the longer operand.
+	if len(y) < fastPackThreshold {
 		return natMulBasic(x, y)
 	}
-	m := len(x)
-	if len(y) < m {
-		m = len(y)
-	}
-	m /= 2
-
-	x0 := nat(x[:m]).norm()
-	x1 := nat(x[m:]).norm()
-	y0 := nat(y[:m]).norm()
-	y1 := nat(y[m:]).norm()
-
-	z0 := natMulKaratsuba(x0, y0)
-	z2 := natMulKaratsuba(x1, y1)
-
-	// z1 = (x0+x1)(y0+y1) - z0 - z2 = x0*y1 + x1*y0.
-	z1 := natMulKaratsuba(natAdd(x0, x1), natAdd(y0, y1))
-	z1 = natSub(z1, z0)
-	z1 = natSub(z1, z2)
-
-	// result = z0 + z1<<(32m) + z2<<(64m).
-	res := natAddAt(z0, z1, m)
-	res = natAddAt(res, z2, 2*m)
-	return res
-}
-
-// natAddAt returns x + y·2^(32·shift).
-func natAddAt(x, y nat, shift int) nat {
-	if len(y) == 0 {
-		return x
-	}
-	n := len(y) + shift
-	if len(x) > n {
-		n = len(x)
-	}
-	z := make(nat, n+1)
-	copy(z, x)
-	var carry uint64
-	for i := 0; i < len(y) || carry != 0; i++ {
-		s := uint64(z[i+shift]) + carry
-		if i < len(y) {
-			s += uint64(y[i])
-		}
-		z[i+shift] = uint32(s)
-		carry = s >> limbBits
-	}
-	return z.norm()
+	return nat64To32(mul64(natTo64(x), natTo64(y)))
 }

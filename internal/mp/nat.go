@@ -6,8 +6,9 @@
 // (§4) assumes, which is why the library does not use math/big in the
 // production path (math/big is used only as a test oracle).
 //
-// An optional Karatsuba multiplication is provided for the repository's
-// ablation benchmarks; it is off by default.
+// A subquadratic arithmetic path (block-decomposed Karatsuba
+// multiplication, Burnikel–Ziegler division) is available through the
+// Profile type; Schoolbook, the zero value, is the default.
 package mp
 
 import "math/bits"

@@ -1,0 +1,121 @@
+package mp
+
+import "fmt"
+
+// A Profile selects the arithmetic algorithms used for multiplication
+// and division. It is an explicit per-operation value — carried by the
+// callers' operation contexts, never package state — so concurrent
+// computations may use different profiles without synchronization.
+//
+// The zero value is Schoolbook: quadratic multiplication and division,
+// matching the UNIX "mp" package used by the paper's implementation and
+// the cost model its analysis (§4) assumes. Fast substitutes the
+// subquadratic kernels (block-decomposed Karatsuba multiplication and
+// Burnikel–Ziegler divide-and-conquer division); results are identical,
+// only the running time and the actual (as opposed to modeled) bit cost
+// change.
+type Profile uint8
+
+const (
+	// Schoolbook is the paper's arithmetic: O(n²) multiplication and
+	// division. The default.
+	Schoolbook Profile = iota
+	// Fast uses Karatsuba multiplication and Burnikel–Ziegler division
+	// above the small-operand thresholds.
+	Fast
+
+	numProfiles // sentinel for validation
+)
+
+// String returns the profile name.
+func (p Profile) String() string {
+	switch p {
+	case Schoolbook:
+		return "schoolbook"
+	case Fast:
+		return "fast"
+	}
+	return fmt.Sprintf("profile(%d)", uint8(p))
+}
+
+// Valid reports whether p is a defined profile.
+func (p Profile) Valid() bool { return p < numProfiles }
+
+// ParseProfile maps a profile name ("schoolbook"/"paper" or "fast") to
+// its value.
+func ParseProfile(s string) (Profile, error) {
+	switch s {
+	case "schoolbook", "paper":
+		return Schoolbook, nil
+	case "fast":
+		return Fast, nil
+	}
+	return 0, fmt.Errorf("mp: unknown profile %q (want schoolbook, paper, or fast)", s)
+}
+
+// mul returns x*y under the profile.
+func (p Profile) mul(x, y nat) nat {
+	if p == Fast {
+		return natMulFast(x, y)
+	}
+	return natMulBasic(x, y)
+}
+
+// div returns the quotient and remainder of u/v under the profile.
+func (p Profile) div(u, v nat) (q, r nat) {
+	if p == Fast {
+		return natDivFast(u, v)
+	}
+	return natDiv(u, v)
+}
+
+// MulCost estimates the cost of multiplying xbits-by-ybits operands
+// under the profile, in the paper's bit-operation unit (schoolbook cost
+// = xbits·ybits). For Fast it approximates the Karatsuba recursion
+// K(n) = 3·K(n/2) with schoolbook base cases, block-decomposed for
+// unbalanced operands — an estimate of work actually done, used by the
+// metrics layer to report model vs actual cost side by side.
+func (p Profile) MulCost(xbits, ybits int) int64 {
+	model := int64(xbits) * int64(ybits)
+	if p != Fast || xbits == 0 || ybits == 0 {
+		return model
+	}
+	la := (xbits + limbBits - 1) / limbBits
+	lb := (ybits + limbBits - 1) / limbBits
+	if la < lb {
+		la, lb = lb, la
+	}
+	if lb < karatsubaThreshold {
+		return model
+	}
+	// One balanced Karatsuba product of lb-limb operands, halving until
+	// the schoolbook threshold: lb² limb products scaled by (3/4) per
+	// level, then ceil(la/lb) such blocks, converted to bit units.
+	per := int64(lb) * int64(lb)
+	for t := lb; t >= 2*karatsubaThreshold; t /= 2 {
+		per = per * 3 / 4
+	}
+	blocks := int64((la + lb - 1) / lb)
+	return blocks * per * limbBits * limbBits
+}
+
+// DivCost estimates the cost of dividing an xbits dividend by a ybits
+// divisor under the profile (schoolbook cost = xbits·ybits). The Fast
+// estimate charges the Burnikel–Ziegler recursion as roughly two fast
+// multiplications of quotient-by-divisor shape.
+func (p Profile) DivCost(xbits, ybits int) int64 {
+	model := int64(xbits) * int64(ybits)
+	if p != Fast || xbits <= ybits {
+		return model
+	}
+	lv := (ybits + limbBits - 1) / limbBits
+	lq := (xbits - ybits + limbBits - 1) / limbBits
+	if lv < fastDivThreshold || lq < fastDivThreshold {
+		return model
+	}
+	fast := 2 * p.MulCost(xbits-ybits, ybits)
+	if fast < model {
+		return fast
+	}
+	return model
+}

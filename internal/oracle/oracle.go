@@ -26,6 +26,7 @@ import (
 	"realroots/internal/core"
 	"realroots/internal/dyadic"
 	"realroots/internal/metrics"
+	"realroots/internal/mp"
 	"realroots/internal/oracle/bigref"
 	"realroots/internal/poly"
 	"realroots/internal/sturm"
@@ -82,7 +83,16 @@ func describe(name string, subject, oracle []*big.Rat, i int) error {
 // worker count and cross-checks its µ-approximations, entry for entry,
 // against all three oracles. A nil return means bit-exact agreement.
 func Check(p *poly.Poly, mu uint, workers int) error {
-	res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers})
+	return CheckProfile(p, mu, workers, mp.Schoolbook)
+}
+
+// CheckProfile is Check with the algorithm under test running on the
+// given arithmetic profile. The oracles always run schoolbook, so a
+// fast-profile run is cross-checked against independently computed
+// schoolbook answers — exact arithmetic means the profiles must agree
+// bit for bit.
+func CheckProfile(p *poly.Poly, mu uint, workers int, pr mp.Profile) error {
+	res, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Profile: pr})
 	if err != nil {
 		return fmt.Errorf("oracle: algorithm failed: %w", err)
 	}

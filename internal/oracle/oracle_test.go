@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"realroots/internal/mp"
 	"realroots/internal/poly"
 	"realroots/internal/workload"
 )
@@ -122,5 +123,32 @@ func TestConformanceSample(t *testing.T) {
 		if err := Check(c.P, c.Mu, 1); err != nil {
 			t.Errorf("%s deg=%d µ=%d: %v", c.Family, c.Degree, c.Mu, err)
 		}
+	}
+}
+
+// TestCheckFastProfile is the fast-profile conformance run: the
+// algorithm under mp.Fast (subquadratic kernels) must reproduce the
+// schoolbook oracles' answers bit for bit. The workload leans on
+// higher degrees and precisions so the fast kernels actually engage
+// above their operand-size thresholds.
+func TestCheckFastProfile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *poly.Poly
+		mu   uint
+	}{
+		{"sqrt2", poly.FromInt64s(-2, 0, 1), 16},
+		{"wilkinson10", workload.Wilkinson(10), 16},
+		{"chebyshev9", workload.Chebyshev(9), 24},
+		{"charpoly20", workload.CharPoly01(3, 20), 32},
+		{"tridiagonal12", workload.Tridiagonal(5, 12, 6), 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				if err := CheckProfile(tc.p, tc.mu, workers, mp.Fast); err != nil {
+					t.Errorf("workers=%d: %v", workers, err)
+				}
+			}
+		})
 	}
 }

@@ -17,8 +17,7 @@ func (p *Poly) EvalCtx(ctx metrics.Ctx, t *mp.Int) *mp.Int {
 	d := p.Degree()
 	v := new(mp.Int).Set(p.c[d])
 	for i := d - 1; i >= 0; i-- {
-		ctx.C.AddMul(ctx.Phase, v.BitLen(), t.BitLen())
-		v.Mul(v, t)
+		ctx.MulInto(v, v, t)
 		v.Add(v, p.c[i])
 	}
 	return v
@@ -48,8 +47,7 @@ func (p *Poly) EvalScaledCtx(ctx metrics.Ctx, a *mp.Int, s uint) *mp.Int {
 	v := new(mp.Int).Set(p.c[d])
 	var shifted mp.Int
 	for k := 1; k <= d; k++ {
-		ctx.C.AddMul(ctx.Phase, v.BitLen(), a.BitLen())
-		v.Mul(v, a)
+		ctx.MulInto(v, v, a)
 		shifted.Lsh(p.c[d-k], uint(k)*s)
 		ctx.C.AddAdd(ctx.Phase)
 		v.Add(v, &shifted)
@@ -113,7 +111,11 @@ func (p *Poly) RootBound() *mp.Int {
 // PseudoRem computes the pseudo-remainder of u by v (deg v ≤ deg u,
 // v ≠ 0): prem = lc(v)^(deg u - deg v + 1) · u  mod  v, which has integer
 // coefficients. Used by the Sturm baseline.
-func PseudoRem(u, v *Poly) *Poly {
+func PseudoRem(u, v *Poly) *Poly { return PseudoRemProfile(u, v, mp.Schoolbook) }
+
+// PseudoRemProfile is PseudoRem with the coefficient arithmetic
+// dispatched by pr (unrecorded; see GCDProfile).
+func PseudoRemProfile(u, v *Poly, pr mp.Profile) *Poly {
 	if v.IsZero() {
 		panic("poly: PseudoRem by zero")
 	}
@@ -122,19 +124,20 @@ func PseudoRem(u, v *Poly) *Poly {
 		r := u.Clone()
 		return r
 	}
+	uctx := metrics.Ctx{Profile: pr} // dispatch only, no recording
 	r := u.Clone()
 	lead := v.Lead()
 	for r.Degree() >= dv && !r.IsZero() {
 		dr := r.Degree()
 		// r = lead·r - r_lead·x^(dr-dv)·v
 		rl := new(mp.Int).Set(r.Lead())
-		r = r.ScaleInt(lead)
+		r = r.ScaleIntCtx(uctx, lead)
 		shift := make([]*mp.Int, dr-dv+1)
 		for i := range shift {
 			shift[i] = new(mp.Int)
 		}
 		shift[dr-dv] = rl
-		sub := (&Poly{c: shift}).Mul(v)
+		sub := (&Poly{c: shift}).MulCtx(uctx, v)
 		r = r.Sub(sub)
 		if r.Degree() == dr {
 			panic("poly: PseudoRem failed to reduce degree")

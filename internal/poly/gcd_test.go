@@ -159,3 +159,61 @@ func pow(x *mp.Int, k int) *mp.Int {
 	}
 	return z
 }
+
+// TestGCDProfileAgreement checks that the Fast profile's subresultant
+// PRS produces the same primitive gcd as the Schoolbook primitive PRS,
+// across shared-factor, coprime, repeated-root, and zero inputs.
+func TestGCDProfileAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	randPoly := func(deg int) *Poly {
+		roots := make([]*mp.Int, deg)
+		for i := range roots {
+			roots[i] = mp.NewInt(int64(r.Intn(41) - 20))
+		}
+		return FromRoots(roots...).ScaleInt(mp.NewInt(int64(r.Intn(5) + 1)))
+	}
+	for i := 0; i < 40; i++ {
+		g := randPoly(r.Intn(3) + 1)
+		a := g.Mul(randPoly(r.Intn(4) + 1))
+		b := g.Mul(randPoly(r.Intn(4) + 1))
+		want := GCD(a, b)
+		got := GCDProfile(a, b, mp.Fast)
+		if !got.Equal(want) {
+			t.Fatalf("profile gcd mismatch: fast=%s schoolbook=%s (a=%s b=%s)", got, want, a, b)
+		}
+	}
+	// Zero and constant cases.
+	p := FromInt64s(2, 4)
+	if !GCDProfile(p, Zero(), mp.Fast).Equal(GCD(p, Zero())) {
+		t.Error("fast GCD(p, 0) disagrees")
+	}
+	if !GCDProfile(Zero(), Zero(), mp.Fast).IsZero() {
+		t.Error("fast GCD(0, 0) != 0")
+	}
+	if g := GCDProfile(FromInt64s(6), FromInt64s(4), mp.Fast); g.Degree() != 0 {
+		t.Errorf("fast GCD of constants has degree %d", g.Degree())
+	}
+}
+
+// TestSquarefreeProfileAgreement checks the profile variants of the
+// squarefree predicates against their schoolbook counterparts,
+// including a high-multiplicity input that stresses the subresultant
+// h-sequence (d > 1 steps).
+func TestSquarefreeProfileAgreement(t *testing.T) {
+	cases := []*Poly{
+		FromRoots(mp.NewInt(1), mp.NewInt(2), mp.NewInt(3)),
+		FromRoots(mp.NewInt(5), mp.NewInt(5)),
+		FromRoots(mp.NewInt(-1), mp.NewInt(-1), mp.NewInt(-1), mp.NewInt(4)),
+		FromInt64s(0, 0, 0, 1), // x³: triple root at 0
+		FromInt64s(7),
+		FromInt64s(-3, 0, 0, 0, 0, 3), // sparse, d > 1 pseudo-division steps
+	}
+	for _, p := range cases {
+		if got, want := p.IsSquarefreeProfile(mp.Fast), p.IsSquarefree(); got != want {
+			t.Errorf("IsSquarefreeProfile(%s) = %v, want %v", p, got, want)
+		}
+		if got, want := p.SquarefreePartProfile(mp.Fast), p.SquarefreePart(); !got.Equal(want) {
+			t.Errorf("SquarefreePartProfile(%s) = %s, want %s", p, got, want)
+		}
+	}
+}

@@ -174,8 +174,7 @@ func (p *Poly) MulCtx(ctx metrics.Ctx, q *Poly) *Poly {
 			if qj.IsZero() {
 				continue
 			}
-			ctx.C.AddMul(ctx.Phase, pi.BitLen(), qj.BitLen())
-			t.Mul(pi, qj)
+			ctx.MulInto(&t, pi, qj)
 			c[i+j].Add(c[i+j], &t)
 		}
 	}
@@ -238,10 +237,14 @@ func FromRoots(roots ...*mp.Int) *Poly {
 
 // Content returns the GCD of the coefficients of p (non-negative;
 // Content(0) == 0).
-func (p *Poly) Content() *mp.Int {
+func (p *Poly) Content() *mp.Int { return p.ContentProfile(mp.Schoolbook) }
+
+// ContentProfile is Content with the integer GCDs dispatched by pr
+// (unrecorded; see GCDProfile).
+func (p *Poly) ContentProfile(pr mp.Profile) *mp.Int {
 	g := new(mp.Int)
 	for _, ci := range p.c {
-		g.GCD(g, ci)
+		g.GCDProfile(pr, g, ci)
 		if g.IsOne() {
 			break
 		}
@@ -251,15 +254,19 @@ func (p *Poly) Content() *mp.Int {
 
 // PrimitivePart returns p divided by its content, preserving the sign of
 // the leading coefficient; PrimitivePart(0) == 0.
-func (p *Poly) PrimitivePart() *Poly {
+func (p *Poly) PrimitivePart() *Poly { return p.PrimitivePartProfile(mp.Schoolbook) }
+
+// PrimitivePartProfile is PrimitivePart with the coefficient arithmetic
+// dispatched by pr (unrecorded; see GCDProfile).
+func (p *Poly) PrimitivePartProfile(pr mp.Profile) *Poly {
 	if p.IsZero() {
 		return Zero()
 	}
-	g := p.Content()
+	g := p.ContentProfile(pr)
 	if g.IsOne() {
 		return p.Clone()
 	}
-	return p.DivExactInt(g)
+	return p.DivExactIntCtx(metrics.Ctx{Profile: pr}, g)
 }
 
 // String renders p in conventional descending order, e.g.

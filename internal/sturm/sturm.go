@@ -142,8 +142,8 @@ func FindRootsStop(p *poly.Poly, mu uint, ctx metrics.Ctx, stop func() error) ([
 		return nil, fmt.Errorf("sturm: degree %d polynomial has no roots", p.Degree())
 	}
 	ps := p
-	if !p.IsSquarefree() {
-		ps = p.SquarefreePart()
+	if !p.IsSquarefreeProfile(ctx.Profile) {
+		ps = p.SquarefreePartProfile(ctx.Profile)
 	}
 	if ps.Degree() < 1 {
 		return nil, fmt.Errorf("sturm: no roots after squarefree reduction")

@@ -168,7 +168,7 @@ func ComputePoly(s *remseq.Sequence, ctx metrics.Ctx, nd *Node) {
 	k := nd.K
 	m1 := SHat(s, k).Mul(ctx, nd.Left.T) // Ŝ_k · T_{i,k-1}
 	var prod *Matrix2
-	divisor := new(mp.Int).Mul(s.Csq(k), s.Csq(k-1))
+	divisor := new(mp.Int).MulProfile(ctx.Profile, s.Csq(k), s.Csq(k-1))
 	if nd.Right != nil {
 		prod = nd.Right.T.Mul(ctx, m1) // T_{k+1,j} · (Ŝ_k · T_{i,k-1})
 	} else {

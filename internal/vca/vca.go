@@ -155,8 +155,8 @@ func FindRoots(p *poly.Poly, mu uint, ctx metrics.Ctx) ([]dyadic.Dyadic, error) 
 		return nil, fmt.Errorf("vca: degree %d polynomial has no roots", p.Degree())
 	}
 	ps := p
-	if !p.IsSquarefree() {
-		ps = p.SquarefreePart()
+	if !p.IsSquarefreeProfile(ctx.Profile) {
+		ps = p.SquarefreePartProfile(ctx.Profile)
 	}
 	ctx = ctx.In(metrics.PhaseOther)
 	dp := ps.Derivative()

@@ -1,0 +1,75 @@
+package realroots_test
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"realroots"
+	"realroots/internal/workload"
+)
+
+// TestConcurrentProfiles runs solves under both arithmetic profiles
+// concurrently — the race the old mp.UseKaratsuba package global made
+// impossible to run safely. Under -race this test fails if any profile
+// state leaks into shared memory; in any mode it checks that the two
+// profiles produce bit-identical roots (the arithmetic is exact either
+// way).
+func TestConcurrentProfiles(t *testing.T) {
+	p := workload.CharPoly01(7, 18)
+	coeffs := make([]*big.Int, p.Degree()+1)
+	for i := range coeffs {
+		coeffs[i] = p.Coeff(i).ToBig()
+	}
+
+	const rounds = 4
+	results := make([][]*realroots.Result, 2)
+	var wg sync.WaitGroup
+	for pi, prof := range []realroots.Profile{realroots.ProfilePaper, realroots.ProfileFast} {
+		results[pi] = make([]*realroots.Result, rounds)
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(pi, r int, prof realroots.Profile) {
+				defer wg.Done()
+				res, err := realroots.FindRoots(coeffs, &realroots.Options{
+					Precision: 32,
+					Workers:   2,
+					Profile:   prof,
+				})
+				if err != nil {
+					t.Errorf("profile %d round %d: %v", pi, r, err)
+					return
+				}
+				results[pi][r] = res
+			}(pi, r, prof)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ref := results[0][0]
+	for pi := range results {
+		for r, res := range results[pi] {
+			if len(res.Roots) != len(ref.Roots) {
+				t.Fatalf("profile %d round %d: %d roots, want %d", pi, r, len(res.Roots), len(ref.Roots))
+			}
+			for i := range res.Roots {
+				if res.Roots[i].Value.Cmp(ref.Roots[i].Value) != 0 {
+					t.Fatalf("profile %d round %d: root %d = %s, want %s",
+						pi, r, i, res.Roots[i].Value.RatString(), ref.Roots[i].Value.RatString())
+				}
+			}
+		}
+	}
+}
+
+// TestProfileValidation rejects out-of-range profile values instead of
+// silently running schoolbook.
+func TestProfileValidation(t *testing.T) {
+	_, err := realroots.FindRootsInt64([]int64{-2, 0, 1}, &realroots.Options{Profile: realroots.Profile(42)})
+	if err == nil {
+		t.Fatal("Profile(42) accepted, want option error")
+	}
+}

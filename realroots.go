@@ -56,6 +56,24 @@ const (
 	Newton
 )
 
+// Profile selects the big-integer arithmetic algorithms used by a run.
+// Every profile computes bit-identical roots (the arithmetic is exact
+// either way) and records identical operation counts and model bit
+// costs; only the wall time and the reported actual bit costs differ.
+// The profile is carried per run — never in package state — so
+// concurrent runs with different profiles are race-free.
+type Profile int
+
+const (
+	// ProfilePaper (the default) is schoolbook multiplication and Knuth
+	// division — the quadratic cost model of the paper's UNIX "mp"
+	// substrate (§3.3). Use it when reproducing the paper's measurements.
+	ProfilePaper Profile = iota
+	// ProfileFast enables the subquadratic kernels: block-decomposed
+	// Karatsuba multiplication and Burnikel–Ziegler division.
+	ProfileFast
+)
+
 // Options configures a root-finding run. The zero value (and a nil
 // *Options) requests 32 bits of precision on a single worker with the
 // hybrid method.
@@ -71,6 +89,10 @@ type Options struct {
 	// SequentialPrecompute forces the remainder-sequence stage to run
 	// sequentially even on a parallel run (the paper's run-time option).
 	SequentialPrecompute bool
+	// Profile selects the arithmetic algorithms: ProfilePaper (default)
+	// or ProfileFast. Roots and recorded operation counts are identical
+	// under every profile.
+	Profile Profile
 	// Timeout, if positive, bounds the run's wall time. An expired
 	// timeout aborts the run with ErrDeadline and a partial Result
 	// (stats only, no roots). Context-taking entry points compose it
@@ -112,6 +134,9 @@ func (o *Options) coreOptions() core.Options {
 	opts.SequentialPrecompute = o.SequentialPrecompute
 	opts.MaxBitOps = o.MaxBitOps
 	opts.Tracer = o.Tracer
+	// Direct cast: out-of-range values survive the mapping and are
+	// rejected by core's option validation.
+	opts.Profile = mp.Profile(o.Profile)
 	switch o.Method {
 	case Bisection:
 		opts.Method = interval.MethodBisection
@@ -382,7 +407,7 @@ func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options)
 	}
 	ctl := co.Tracer.Lane(trace.ControlLane, "control")
 	ctl.Begin("sturm", trace.CatTask)
-	ds, err := sturm.FindRootsStop(p, co.Mu, metrics.Ctx{C: &counters}, stop)
+	ds, err := sturm.FindRootsStop(p, co.Mu, metrics.Ctx{C: &counters, Profile: co.Profile}, stop)
 	ctl.End()
 	if err != nil {
 		if core.IsResilience(err) {
