@@ -7,6 +7,8 @@
 //	rootbench -exp all -full              # everything on the paper's full grid
 //	rootbench -exp speedups -degrees 35,50,70 -procs 1,2,4,8,16 -mus 4,32
 //	rootbench -exp conformance            # differential-oracle sweep (≥200 cases)
+//	rootbench -exp soak -telemetry :9090  # sustained workload with live /metrics
+//	rootbench -compare old.json new.json  # bench regression gate over two grid snapshots
 //
 // The full grid (degrees up to 70, all µ, all worker counts, 3 seeds)
 // takes a while — the paper's own Table 2 runs alone are hours of 1991
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -26,9 +29,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"realroots/internal/harness"
 	"realroots/internal/mp"
+	"realroots/internal/telemetry"
 )
 
 // simulateNotice is emitted as a header comment at the top of the
@@ -49,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return runCtx(context.Background(), args, stdout, stderr)
 }
 
-func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rootbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -68,8 +73,28 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.String("json", "", "run the grid and write a machine-readable JSON report (schema "+harness.GridSchema+") to this file ('-' for stdout); skips -exp")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile (go tool pprof) to this file on exit")
+
+		telemetryAddr = fs.String("telemetry", "", "serve /metrics, /debug/flight, and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+		slogOut       = fs.String("slog", "", "write the structured solve log (JSON lines) to this file ('-' for stderr)")
+		flightOut     = fs.String("flight-out", "", "write the flight-recorder dump (JSON, schema "+telemetry.FlightSchema+") to this file on exit")
+		metricsOut    = fs.String("metrics-out", "", "write the final Prometheus text exposition to this file on exit")
+		soakSolves    = fs.Int("soak-solves", 0, "soak experiment: stop after this many solves (default "+strconv.Itoa(harness.DefaultSoakSolves)+" when no -soak-seconds)")
+		soakSeconds   = fs.Float64("soak-seconds", 0, "soak experiment: stop after this much wall time")
+
+		compare       = fs.Bool("compare", false, "compare two bench-grid JSON snapshots (old.json new.json as positional args), print a regression table, and exit nonzero on regressions; skips -exp")
+		threshold     = fs.Float64("threshold", 25, "with -compare: fail on any matched cell regressing more than this percentage")
+		compareMetric = fs.String("compare-metric", "both", "with -compare: which measurement gates ("+strings.Join(harness.CompareMetrics, ", ")+"); bitops is deterministic across machines")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The compare gate is pure file diffing — no solves, no telemetry.
+	if *compare {
+		return runCompare(fs.Args(), *threshold, *compareMetric, stdout, stderr)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rootbench: unexpected arguments %q (positional args are only used with -compare)\n", fs.Args())
 		return 2
 	}
 
@@ -134,6 +159,83 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cfg.Reps = *reps
 	}
 	cfg.ConformanceChecks = *checks
+	cfg.SoakSolves = *soakSolves
+	if *soakSeconds > 0 {
+		cfg.SoakDuration = time.Duration(*soakSeconds * float64(time.Second))
+	}
+
+	// Telemetry hub: created when any telemetry flag asks for it. All
+	// operational output goes to stderr so -json '-' stdout stays pure.
+	// (The soak experiment creates its own private hub when none is
+	// configured, so it works without these flags too.)
+	if *telemetryAddr != "" || *slogOut != "" || *flightOut != "" || *metricsOut != "" {
+		tcfg := telemetry.Config{}
+		if *slogOut != "" {
+			lw := io.Writer(stderr)
+			if *slogOut != "-" {
+				f, err := os.Create(*slogOut)
+				if err != nil {
+					fmt.Fprintf(stderr, "rootbench: %v\n", err)
+					return 2
+				}
+				defer f.Close()
+				lw = f
+			}
+			tcfg.Logger = slog.New(slog.NewJSONHandler(lw, nil))
+		}
+		tel := telemetry.New(tcfg)
+		cfg.Telemetry = tel
+
+		if *telemetryAddr != "" {
+			srv, err := tel.Serve(*telemetryAddr)
+			if err != nil {
+				fmt.Fprintf(stderr, "rootbench: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "rootbench: telemetry on http://%s (/metrics, /debug/flight, /debug/pprof/)\n", srv.Addr())
+			defer srv.Close()
+		}
+
+		// SIGQUIT dumps the flight recorder to stderr without stopping
+		// the run.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				fmt.Fprintln(stderr, "rootbench: SIGQUIT flight dump:")
+				if err := tel.Flight().Dump().WriteJSON(stderr); err != nil {
+					fmt.Fprintf(stderr, "rootbench: flight dump: %v\n", err)
+				}
+			}
+		}()
+
+		defer func() {
+			if *metricsOut != "" {
+				if err := writeFileWith(*metricsOut, tel.Registry().WritePrometheus); err != nil {
+					fmt.Fprintf(stderr, "rootbench: %v\n", err)
+					if code == 0 {
+						code = 1
+					}
+				}
+			}
+			if *flightOut != "" {
+				if err := writeFileWith(*flightOut, tel.Flight().Dump().WriteJSON); err != nil {
+					fmt.Fprintf(stderr, "rootbench: %v\n", err)
+					if code == 0 {
+						code = 1
+					}
+				}
+			} else if code == 1 {
+				// A failed run with no dump destination still leaves its
+				// last moments on stderr for postmortem.
+				fmt.Fprintln(stderr, "rootbench: flight dump (run failed):")
+				if err := tel.Flight().Dump().WriteJSON(stderr); err != nil {
+					fmt.Fprintf(stderr, "rootbench: flight dump: %v\n", err)
+				}
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -245,6 +347,71 @@ func reportErr(err error, name string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "rootbench: %s: %v\n", name, err)
 	return 1
+}
+
+// runCompare implements the -compare gate: load two bench-grid/v1
+// snapshots, print the per-cell regression table, and exit 1 when any
+// matched cell's gated metric regressed past the threshold.
+func runCompare(args []string, threshold float64, metric string, stdout, stderr io.Writer) int {
+	valid := false
+	for _, m := range harness.CompareMetrics {
+		if metric == m {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fmt.Fprintf(stderr, "rootbench: unknown -compare-metric %q (have: %s)\n", metric, strings.Join(harness.CompareMetrics, ", "))
+		return 2
+	}
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "rootbench: -compare needs exactly two snapshot files: old.json new.json")
+		return 2
+	}
+	load := func(path string) (*harness.GridReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := harness.LoadGridJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rep, nil
+	}
+	oldRep, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "rootbench: %v\n", err)
+		return 2
+	}
+	newRep, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "rootbench: %v\n", err)
+		return 2
+	}
+	n, err := harness.CompareGrids(oldRep, newRep).WriteTable(stdout, threshold, metric)
+	if err != nil {
+		fmt.Fprintf(stderr, "rootbench: compare: %v\n", err)
+		return 1
+	}
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeFileWith creates path and streams write into it, preferring the
+// write error over the close error.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseInts(s string) ([]int, error) {

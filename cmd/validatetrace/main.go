@@ -1,11 +1,14 @@
 // Command validatetrace checks that observability output files emitted
 // by rootbench parse against their schemas: Chrome trace-event JSON
-// (rootbench -trace) and bench-grid JSON (rootbench -json). The file
-// kind is sniffed from the content, so CI can pass both in one call.
+// (rootbench -trace), flight-recorder dumps (rootbench -flight-out or
+// GET /debug/flight), Prometheus text expositions (rootbench
+// -metrics-out or GET /metrics), and bench-grid JSON (rootbench -json).
+// The file kind is sniffed from the content, so CI can pass all of them
+// in one call.
 //
 // Usage:
 //
-//	validatetrace trace.json grid.json ...
+//	validatetrace trace.json flight.json metrics.prom grid.json ...
 //
 // Exits 0 when every file validates, 1 otherwise.
 package main
@@ -16,33 +19,41 @@ import (
 	"os"
 
 	"realroots/internal/harness"
+	"realroots/internal/telemetry"
 	"realroots/internal/trace"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: validatetrace file.json ...")
+		fmt.Fprintln(os.Stderr, "usage: validatetrace file ...")
 		os.Exit(2)
 	}
 	code := 0
 	for _, path := range os.Args[1:] {
-		if err := validateFile(path); err != nil {
+		kind, err := validateFile(path)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "validatetrace: %s: %v\n", path, err)
 			code = 1
 			continue
 		}
-		fmt.Printf("%s: ok\n", path)
+		fmt.Printf("%s: ok (%s)\n", path, kind)
 	}
 	os.Exit(code)
 }
 
-func validateFile(path string) error {
+func validateFile(path string) (kind string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return "", err
 	}
-	if bytes.Contains(data, []byte(`"traceEvents"`)) {
-		return trace.ValidateChrome(data)
+	switch {
+	case bytes.Contains(data, []byte(`"traceEvents"`)):
+		return "chrome-trace", trace.ValidateChrome(data)
+	case bytes.Contains(data, []byte(telemetry.FlightSchema)):
+		return "flight-dump", telemetry.ValidateDumpJSON(data)
+	case bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("# HELP")):
+		return "prometheus-exposition", telemetry.ValidateExposition(data)
+	default:
+		return "bench-grid", harness.ValidateGridJSON(data)
 	}
-	return harness.ValidateGridJSON(data)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"realroots/internal/harness"
+	"realroots/internal/telemetry"
+)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateFileSniffsKinds(t *testing.T) {
+	// Flight dump.
+	f := telemetry.NewFlight(64)
+	f.Begin(1, 0, "task", "task")
+	f.End(1, 0, "task")
+	var flight bytes.Buffer
+	if err := f.Dump().WriteJSON(&flight); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prometheus exposition.
+	tel := telemetry.New(telemetry.Config{})
+	var expo bytes.Buffer
+	if err := tel.Registry().WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bench grid.
+	cfg := harness.Quick()
+	cfg.Degrees, cfg.Mus, cfg.Procs, cfg.Seeds = []int{6}, []uint{4}, []int{1}, []int64{1}
+	cfg.Simulate = true
+	var grid bytes.Buffer
+	if err := harness.WriteGridJSON(&grid, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"flight.json", flight.Bytes(), "flight-dump"},
+		{"metrics.prom", expo.Bytes(), "prometheus-exposition"},
+		{"grid.json", grid.Bytes(), "bench-grid"},
+	}
+	for _, tc := range cases {
+		kind, err := validateFile(writeTemp(t, tc.name, tc.data))
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if kind != tc.want {
+			t.Errorf("%s sniffed as %q, want %q", tc.name, kind, tc.want)
+		}
+	}
+}
+
+func TestValidateFileRejectsCorrupt(t *testing.T) {
+	corruptFlight := []byte(`{"schema":"realroots/flight/v1","capacity":0,"written":0,"dropped":0,"records":[]}`)
+	if _, err := validateFile(writeTemp(t, "bad-flight.json", corruptFlight)); err == nil {
+		t.Error("corrupt flight dump validated")
+	}
+	corruptExpo := []byte("# HELP a b\na 1\n") // sample without TYPE
+	if _, err := validateFile(writeTemp(t, "bad.prom", corruptExpo)); err == nil {
+		t.Error("corrupt exposition validated")
+	}
+	if _, err := validateFile(writeTemp(t, "bad-grid.json", []byte(`{"schema":"nope"}`))); err == nil {
+		t.Error("corrupt grid validated")
+	}
+	if _, err := validateFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file validated")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"realroots/internal/poly"
 	"realroots/internal/remseq"
 	"realroots/internal/sched"
+	"realroots/internal/telemetry"
 	"realroots/internal/trace"
 	"realroots/internal/tree"
 )
@@ -69,6 +70,15 @@ type Options struct {
 	// CheckTree enables the Theorem 1 structural self-check on the
 	// computed tree (tests and debugging).
 	CheckTree bool
+	// Telemetry, if non-nil, receives the run's lifecycle: a structured
+	// start/finish log record, phase and scheduler-task records in the
+	// flight recorder, and — at Finish — the run's outcome, wall time,
+	// and arithmetic metrics folded into the hub's registry. Unlike
+	// Tracer it is designed to stay attached in production: its memory
+	// is bounded and a nil hub adds no allocations. When set and
+	// Counters is nil, internal counters are allocated so the registry
+	// still sees the run's arithmetic metrics.
+	Telemetry *telemetry.Telemetry
 
 	// Ctx carries cancellation and deadlines into the run; nil means
 	// context.Background(). Cancellation mid-phase drains the scheduler
@@ -215,11 +225,37 @@ func FindRootsWithMultiplicity(p *poly.Poly, opts Options) ([]RootMult, error) {
 	return out, nil
 }
 
+// findRootsSquarefree instruments one squarefree solve: it opens a
+// telemetry run around the pipeline (a no-op when no hub is attached)
+// and closes it with the run's outcome and metrics.
 func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
-	counters := opts.Counters
-	if opts.MaxBitOps > 0 && counters == nil {
-		counters = &metrics.Counters{} // budget metering needs a sink
+	workers := opts.Workers
+	if opts.SimulateWorkers > 0 {
+		workers = opts.SimulateWorkers
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	run := opts.Telemetry.RunStart("core", p.Degree(), opts.Mu, workers)
+	counters := opts.Counters
+	if counters == nil && (opts.MaxBitOps > 0 || run != nil) {
+		counters = &metrics.Counters{} // budget metering and telemetry need a sink
+	}
+	res, err := findRootsPipeline(p, opts, counters, run)
+	if run != nil {
+		if opts.Tracer != nil {
+			run.Utilization(opts.Tracer.Summarize())
+		}
+		nroots := 0
+		if err == nil && res != nil {
+			nroots = len(res.Roots)
+		}
+		run.Finish(RunOutcome(err), nroots, counters.BitOps(), counters.Snapshot())
+	}
+	return res, err
+}
+
+func findRootsPipeline(p *poly.Poly, opts Options, counters *metrics.Counters, run *telemetry.Run) (*Result, error) {
 	mctx := metrics.Ctx{C: counters, Profile: opts.Profile}
 	n := p.Degree()
 
@@ -255,11 +291,27 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 		pool = sched.NewPool(opts.Workers)
 	}
 	if pool != nil {
+		if run != nil {
+			// Registered before the Close defer so it runs after it
+			// (LIFO): the stats snapshot then covers the full drain.
+			defer func() {
+				s := pool.Stats()
+				run.SchedStats(telemetry.SchedStats{
+					Executed:      s.Executed,
+					Panics:        s.Panics,
+					Retries:       s.Retries,
+					MaxQueueDepth: int64(s.MaxQueueDepth),
+				})
+			}()
+		}
 		defer pool.Close()
 		if opts.TaskHook != nil {
 			pool.SetTaskHook(opts.TaskHook)
 		}
 		pool.SetTracer(opts.Tracer)
+		if run != nil {
+			pool.SetObserver(run)
+		}
 		// Forward context cancellation to the pool; the watchdog exits
 		// when the run finishes.
 		watchDone := make(chan struct{})
@@ -275,6 +327,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	if counters != nil && opts.MaxBitOps > 0 {
 		cancelPool := pool // nil on sequential runs: stop() polls instead
 		counters.SetBudget(opts.MaxBitOps, func() {
+			run.BudgetExhausted(counters.BitOps())
 			if cancelPool != nil {
 				cancelPool.Cancel(ErrBudgetExceeded)
 			}
@@ -315,6 +368,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 
 	// Stage 1: remainder and quotient sequences.
 	onPhase("precompute")
+	run.PhaseBegin("remainder")
 	ctl.Begin("remainder", trace.CatPhase)
 	t0 := time.Now()
 	seqOpts := remseq.Options{Ctx: mctx, Grain: opts.Grain, Stop: stop}
@@ -325,14 +379,17 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	if err != nil {
 		precompute = time.Since(t0)
 		ctl.End()
+		run.PhaseEnd("remainder")
 		return partial(err)
 	}
 	if err := seq.Validate(); err != nil {
 		ctl.End()
+		run.PhaseEnd("remainder")
 		return nil, err
 	}
 	precompute = time.Since(t0)
 	ctl.End()
+	run.PhaseEnd("remainder")
 
 	var precomputeTasks int64
 	if pool != nil {
@@ -345,6 +402,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 		return partial(err)
 	}
 	t1 := time.Now()
+	run.PhaseBegin("solve")
 	ctl.Begin("solve", trace.CatPhase)
 	root := tree.Build(n)
 	bound := p.RootBound()
@@ -358,6 +416,7 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	}
 	treeSolve = time.Since(t1)
 	ctl.End()
+	run.PhaseEnd("solve")
 	if err != nil {
 		return partial(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"realroots/internal/sched"
+	"realroots/internal/telemetry"
 )
 
 // Typed resilience errors. A run that is cut short returns exactly one
@@ -82,6 +83,27 @@ func IsResilience(err error) bool {
 		errors.Is(err, ErrDeadline) ||
 		errors.Is(err, ErrBudgetExceeded) ||
 		errors.As(err, &pe)
+}
+
+// RunOutcome classifies a run's final error as a telemetry outcome.
+// The error taxonomy lives here, not in telemetry, because telemetry
+// sits below core in the import graph.
+func RunOutcome(err error) telemetry.Outcome {
+	var pe *sched.PanicError
+	switch {
+	case err == nil:
+		return telemetry.OutcomeOK
+	case errors.Is(err, ErrBudgetExceeded):
+		return telemetry.OutcomeBudget
+	case errors.Is(err, ErrDeadline):
+		return telemetry.OutcomeDeadline
+	case errors.As(err, &pe):
+		return telemetry.OutcomePanic
+	case errors.Is(err, ErrCanceled):
+		return telemetry.OutcomeCanceled
+	default:
+		return telemetry.OutcomeError
+	}
 }
 
 // ctxErr maps a context error to the typed taxonomy.

@@ -23,6 +23,7 @@ import (
 	"realroots/internal/mp"
 	"realroots/internal/poly"
 	"realroots/internal/sturm"
+	"realroots/internal/telemetry"
 	"realroots/internal/vca"
 	"realroots/internal/workload"
 )
@@ -61,6 +62,16 @@ type Config struct {
 	// in-flight solve itself is canceled through the solver's own
 	// cancellation path. cmd/rootbench wires SIGINT to this.
 	Ctx context.Context
+	// Telemetry, if non-nil, attaches every solve the experiments run to
+	// the hub (cmd/rootbench wires -telemetry/-slog/-flight-out here).
+	// The soak experiment creates a private hub when this is nil.
+	Telemetry *telemetry.Telemetry
+	// SoakSolves bounds the soak experiment by solve count; SoakDuration
+	// bounds it by wall time (whichever is set; both set = whichever
+	// ends first). Neither set runs the deterministic default of
+	// DefaultSoakSolves solves.
+	SoakSolves   int
+	SoakDuration time.Duration
 }
 
 // ErrInterrupted reports that an experiment stopped early because
@@ -144,7 +155,7 @@ func (cfg Config) run(p *poly.Poly, mu uint, workers int, counters *metrics.Coun
 			cnt = counters
 		}
 		start := time.Now()
-		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt, Ctx: cfg.Ctx, Profile: cfg.Profile})
+		out, err := core.FindRoots(p, core.Options{Mu: mu, Workers: workers, Counters: cnt, Ctx: cfg.Ctx, Profile: cfg.Profile, Telemetry: cfg.Telemetry})
 		if err != nil {
 			if errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrDeadline) {
 				return 0, nil, ErrInterrupted
@@ -175,7 +186,7 @@ func (cfg Config) avgSeconds(n int, mu uint, workers int) (float64, error) {
 				if err := cfg.interrupted(); err != nil {
 					return 0, err
 				}
-				res, err := core.FindRoots(p, core.Options{Mu: mu, SimulateWorkers: workers, Profile: cfg.Profile})
+				res, err := core.FindRoots(p, core.Options{Mu: mu, SimulateWorkers: workers, Profile: cfg.Profile, Telemetry: cfg.Telemetry})
 				if err != nil {
 					return 0, fmt.Errorf("n=%d µ=%d P=%d seed=%d: %w", n, mu, workers, seed, err)
 				}
@@ -623,6 +634,7 @@ var Experiments = map[string]func(io.Writer, Config) error{
 	"speedups":    Speedups,
 	"ablations":   Ablations,
 	"utilization": Utilization,
+	"soak":        Soak,
 }
 
 // Names returns the experiment ids in a stable order.

@@ -347,6 +347,17 @@ func (r Report) Sum(phases ...Phase) PhaseReport {
 	return t
 }
 
+// Add returns the per-phase sum r + o, histograms included. The
+// telemetry registry uses it to accumulate per-run snapshots into the
+// process-lifetime totals exposed on /metrics.
+func (r Report) Add(o Report) Report {
+	sum := r
+	for p := Phase(0); p < NumPhases; p++ {
+		sum.Phases[p].accum(o.Phases[p])
+	}
+	return sum
+}
+
 // Sub returns the per-phase difference r - old (for interval snapshots).
 func (r Report) Sub(old Report) Report {
 	var d Report

@@ -171,6 +171,173 @@ func TestTracedSimulatedPool(t *testing.T) {
 	}
 }
 
+// recordingObserver captures lifecycle callbacks for assertions.
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []obsEvent
+}
+
+type obsEvent struct {
+	kind   string // "start", "done", "panic", "retry"
+	worker int
+	tag    string
+	left   int
+}
+
+func (o *recordingObserver) add(e obsEvent) {
+	o.mu.Lock()
+	o.events = append(o.events, e)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) TaskStart(worker int, tag string) {
+	o.add(obsEvent{kind: "start", worker: worker, tag: tag})
+}
+func (o *recordingObserver) TaskDone(worker int, tag string) {
+	o.add(obsEvent{kind: "done", worker: worker, tag: tag})
+}
+func (o *recordingObserver) TaskPanic(worker int, tag string, v any) {
+	o.add(obsEvent{kind: "panic", worker: worker, tag: tag})
+}
+func (o *recordingObserver) TaskRetry(tag string, left int) {
+	o.add(obsEvent{kind: "retry", tag: tag, left: left})
+}
+
+func (o *recordingObserver) byKind() map[string][]obsEvent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := map[string][]obsEvent{}
+	for _, e := range o.events {
+		m[e.kind] = append(m[e.kind], e)
+	}
+	return m
+}
+
+func TestObserverBalancedStartDone(t *testing.T) {
+	obs := &recordingObserver{}
+	p := NewPool(3)
+	p.SetObserver(obs)
+	const n = 20
+	for i := 0; i < n; i++ {
+		p.SubmitTagged("interval", func() {})
+	}
+	p.Wait()
+	p.Close()
+
+	by := obs.byKind()
+	if len(by["start"]) != n || len(by["done"]) != n {
+		t.Fatalf("starts=%d dones=%d, want %d each", len(by["start"]), len(by["done"]), n)
+	}
+	for _, e := range append(by["start"], by["done"]...) {
+		if e.worker < 0 || e.worker > 2 {
+			t.Errorf("callback on worker %d, want 0..2", e.worker)
+		}
+		if e.tag != "interval" {
+			t.Errorf("callback tag %q", e.tag)
+		}
+	}
+}
+
+// TestObserverPanicOrder pins the contract documented on Observer:
+// a panicking task still produces a balanced Start/Done pair, with
+// TaskPanic in between and on the same worker.
+func TestObserverPanicOrder(t *testing.T) {
+	obs := &recordingObserver{}
+	p := NewPool(1)
+	defer p.Close()
+	p.SetObserver(obs)
+	p.SubmitTagged("boom", func() { panic("kaboom") })
+	p.Wait()
+
+	var kinds []string
+	var workers []int
+	obs.mu.Lock()
+	for _, e := range obs.events {
+		kinds = append(kinds, e.kind)
+		workers = append(workers, e.worker)
+	}
+	obs.mu.Unlock()
+	want := []string{"start", "panic", "done"}
+	if len(kinds) != 3 || kinds[0] != want[0] || kinds[1] != want[1] || kinds[2] != want[2] {
+		t.Fatalf("event order %v, want %v", kinds, want)
+	}
+	if workers[0] != workers[1] || workers[1] != workers[2] {
+		t.Fatalf("panic reported across workers: %v", workers)
+	}
+}
+
+func TestObserverRetry(t *testing.T) {
+	obs := &recordingObserver{}
+	p := NewPool(1)
+	defer p.Close()
+	p.SetObserver(obs)
+	var calls atomic.Int64
+	p.SubmitRetry(3, func() error {
+		if calls.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	p.Wait()
+
+	by := obs.byKind()
+	if len(by["retry"]) != 2 {
+		t.Fatalf("retry callbacks = %d, want 2", len(by["retry"]))
+	}
+	if by["retry"][0].left != 2 || by["retry"][1].left != 1 {
+		t.Fatalf("attempts-left sequence %v", by["retry"])
+	}
+	// Each attempt is a separate task execution.
+	if len(by["start"]) != 3 || len(by["done"]) != 3 {
+		t.Fatalf("starts=%d dones=%d, want 3 each", len(by["start"]), len(by["done"]))
+	}
+}
+
+// TestObserverParallelForPanic: a ParallelFor body panic is recovered
+// per chunk and reported with worker -1 (the chunk's worker identity is
+// the enclosing task, whose Start/Done still balance).
+func TestObserverParallelForPanic(t *testing.T) {
+	obs := &recordingObserver{}
+	p := NewPool(2)
+	defer p.Close()
+	p.SetObserver(obs)
+	err := p.ParallelForTagged("chunk", 8, 4, func(i int) {
+		if i == 5 {
+			panic("body")
+		}
+	})
+	if err == nil {
+		t.Fatal("ParallelForTagged swallowed the panic")
+	}
+	by := obs.byKind()
+	if len(by["panic"]) != 1 {
+		t.Fatalf("panic callbacks = %d, want 1", len(by["panic"]))
+	}
+	if e := by["panic"][0]; e.worker != -1 || e.tag != "chunk" {
+		t.Fatalf("panic event %+v, want worker -1 tag chunk", e)
+	}
+	if len(by["start"]) != len(by["done"]) {
+		t.Fatalf("unbalanced start/done: %d/%d", len(by["start"]), len(by["done"]))
+	}
+}
+
+// TestObserverOnSimulatedPool checks the virtual-time pool drives the
+// same callbacks.
+func TestObserverOnSimulatedPool(t *testing.T) {
+	obs := &recordingObserver{}
+	p := NewSimulatedPool(4)
+	defer p.Close()
+	p.SetObserver(obs)
+	for i := 0; i < 6; i++ {
+		p.SubmitTagged("interval", func() {})
+	}
+	p.Wait()
+	by := obs.byKind()
+	if len(by["start"]) != 6 || len(by["done"]) != 6 {
+		t.Fatalf("starts=%d dones=%d, want 6 each", len(by["start"]), len(by["done"]))
+	}
+}
+
 // TestUntracedPoolUnchanged pins the no-tracer behavior: no lanes, no
 // samples, stats still counted.
 func TestUntracedPoolUnchanged(t *testing.T) {

@@ -53,6 +53,7 @@ type Pool struct {
 	closed   bool
 	taskHook func(seq int64) // fault-injection / tracing hook (see SetTaskHook)
 	tracer   *trace.Tracer   // nil = tracing disabled (see SetTracer)
+	observer Observer        // nil = no lifecycle callbacks (see SetObserver)
 	maxQueue int             // high-water mark of len(queue), under mu
 
 	outstanding atomic.Int64 // queued + running tasks
@@ -153,6 +154,46 @@ func (p *Pool) SetTracer(tr *trace.Tracer) {
 	p.mu.Unlock()
 }
 
+// An Observer receives task-lifecycle callbacks from the pool: span
+// boundaries on the executing worker's lane plus panic and retry
+// events. It is the telemetry feed — internal/telemetry's *Run
+// satisfies it structurally, so sched needs no telemetry import.
+// Implementations must be safe for concurrent use from all workers and
+// cheap: callbacks run on the worker's critical path.
+type Observer interface {
+	// TaskStart is called on the executing worker before the task runs.
+	TaskStart(worker int, tag string)
+	// TaskDone is called on the executing worker after the task
+	// returns, including after an isolated panic (TaskPanic fires in
+	// between, so a panicking task still produces a balanced
+	// start/done pair).
+	TaskDone(worker int, tag string)
+	// TaskPanic is called when a task panic is recovered. worker is -1
+	// for panics isolated inside ParallelFor bodies, whose recovery
+	// happens in the chunk closure rather than the worker loop.
+	TaskPanic(worker int, tag string, v any)
+	// TaskRetry is called when SubmitRetry requeues a failed attempt;
+	// left is the number of attempts remaining.
+	TaskRetry(tag string, left int)
+}
+
+// SetObserver installs the pool's lifecycle observer. Install it
+// before submitting work; a nil observer (the default) adds no
+// allocations to the execute path.
+func (p *Pool) SetObserver(o Observer) {
+	p.mu.Lock()
+	p.observer = o
+	p.mu.Unlock()
+}
+
+// getObserver reads the observer outside the worker loop (retry and
+// ParallelFor panic paths).
+func (p *Pool) getObserver() Observer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.observer
+}
+
 // SetTaskHook installs a hook invoked at the start of every task with a
 // monotonically increasing sequence number (0, 1, 2, …, in execution
 // order). It is the fault-injection point: the hook may sleep to delay
@@ -227,6 +268,7 @@ func (p *Pool) worker(id int) {
 		simulated := p.sim != nil
 		hook := p.taskHook
 		tr := p.tracer
+		obs := p.observer
 		p.mu.Unlock()
 
 		if tr != nil && lane == nil {
@@ -240,10 +282,10 @@ func (p *Pool) worker(id int) {
 			// count still reaches zero so Wait returns.
 		case simulated:
 			proc, start := p.simBegin(task.vready)
-			p.traceTask(tr, lane, task, depth, hook)
+			p.traceTask(id, tr, lane, task, depth, hook, obs)
 			p.simEnd(proc, start)
 		default:
-			p.traceTask(tr, lane, task, depth, hook)
+			p.traceTask(id, tr, lane, task, depth, hook, obs)
 		}
 		if p.outstanding.Add(-1) == 0 {
 			p.idleMu.Lock()
@@ -256,9 +298,9 @@ func (p *Pool) worker(id int) {
 // traceTask runs one task, wrapped in a worker-lane span and a
 // queue-depth sample when tracing is enabled. With tr == nil it is
 // exactly runTask.
-func (p *Pool) traceTask(tr *trace.Tracer, lane *trace.Lane, task queued, depth int, hook func(int64)) {
+func (p *Pool) traceTask(id int, tr *trace.Tracer, lane *trace.Lane, task queued, depth int, hook func(int64), obs Observer) {
 	if tr == nil {
-		p.runTask(task.f, hook)
+		p.runTask(id, task, hook, obs)
 		return
 	}
 	tr.CounterSample("queue depth", int64(depth))
@@ -268,23 +310,33 @@ func (p *Pool) traceTask(tr *trace.Tracer, lane *trace.Lane, task queued, depth 
 	}
 	lane.BeginAt(task.tag, trace.CatTask, wait)
 	defer lane.End()
-	p.runTask(task.f, hook)
+	p.runTask(id, task, hook, obs)
 }
 
 // runTask executes one task with panic isolation: a panic (from the
 // task or the hook) becomes the pool's first-failure error and cancels
-// the pool; the worker goroutine survives.
-func (p *Pool) runTask(f func(), hook func(int64)) {
+// the pool; the worker goroutine survives. The observer sees
+// TaskStart before the task and TaskDone after it — with TaskPanic in
+// between when the task panicked (the deferred calls unwind in that
+// order).
+func (p *Pool) runTask(id int, task queued, hook func(int64), obs Observer) {
+	if obs != nil {
+		obs.TaskStart(id, task.tag)
+		defer obs.TaskDone(id, task.tag)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
+			if obs != nil {
+				obs.TaskPanic(id, task.tag, r)
+			}
 			p.fail(&PanicError{Value: r, Stack: debug.Stack()})
 		}
 	}()
 	if hook != nil {
 		hook(p.seq.Add(1) - 1)
 	}
-	f()
+	task.f()
 	p.executed.Add(1)
 }
 
@@ -331,6 +383,9 @@ func (p *Pool) SubmitRetry(attempts int, task func() error) {
 		if err := task(); err != nil {
 			if left > 1 {
 				p.retries.Add(1)
+				if obs := p.getObserver(); obs != nil {
+					obs.TaskRetry("retry", left-1)
+				}
 				p.SubmitTagged("retry", func() { run(left - 1) })
 				return
 			}
@@ -401,6 +456,9 @@ func (p *Pool) ParallelForTagged(tag string, n, grain int, f func(i int)) error 
 			defer func() {
 				if r := recover(); r != nil {
 					p.panics.Add(1)
+					if obs := p.getObserver(); obs != nil {
+						obs.TaskPanic(-1, tag, r)
+					}
 					p.fail(&PanicError{Value: r, Stack: debug.Stack()})
 				}
 				if remaining.Add(-1) == 0 {

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition strictly checks data against the Prometheus text
+// exposition format (version 0.0.4), using only the standard library.
+// Beyond the grammar it enforces the conventions the registry relies
+// on: every sample's family must have been declared with a # TYPE line
+// first, a family is typed at most once, no duplicate samples (same
+// name and label set), and counter samples are finite and
+// non-negative.
+func ValidateExposition(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("telemetry: empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("telemetry: exposition does not end with a newline")
+	}
+	typed := map[string]string{}  // family -> type
+	helped := map[string]bool{}   // family has HELP
+	seen := map[string]struct{}{} // name{labels} dedupe
+	lines := strings.Split(string(data[:len(data)-1]), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		switch {
+		case line == "":
+			return fmt.Errorf("telemetry: exposition line %d is blank", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fmt.Errorf("telemetry: line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if helped[name] {
+				return fmt.Errorf("telemetry: line %d: duplicate HELP for %q", lineNo, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("telemetry: line %d: TYPE line missing type", lineNo)
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("telemetry: line %d: invalid metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("telemetry: line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("telemetry: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			typed[name] = typ
+		case strings.HasPrefix(line, "#"):
+			// Arbitrary comment: allowed by the format.
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fmt.Errorf("telemetry: line %d: %v", lineNo, err)
+			}
+			typ, ok := typed[name]
+			if !ok {
+				return fmt.Errorf("telemetry: line %d: sample for %q before its TYPE line", lineNo, name)
+			}
+			key := name + "{" + labels + "}"
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("telemetry: line %d: duplicate sample %s", lineNo, key)
+			}
+			seen[key] = struct{}{}
+			if typ == "counter" && (math.IsNaN(value) || math.IsInf(value, 0) || value < 0) {
+				return fmt.Errorf("telemetry: line %d: counter %q has invalid value %v", lineNo, name, value)
+			}
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses one sample line: name[{label="value",…}] value
+// [timestamp]. It returns the metric name, the raw label block (for
+// duplicate detection), and the parsed value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", 0, err
+		}
+		labels = rest[1 : end-1]
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", 0, fmt.Errorf("missing space before value in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("invalid sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// scanLabels validates a {label="value",…} block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	if i < len(s) && s[i] == '}' {
+		return i + 1, nil
+	}
+	for {
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		if ln := s[start:i]; !validLabelName(ln) {
+			return 0, fmt.Errorf("invalid label name %q", ln)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("truncated escape in %q", s)
+				}
+				switch s[i] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in %q", s[i], s)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing '"'
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		switch s[i] {
+		case ',':
+			i++
+		case '}':
+			return i + 1, nil
+		default:
+			return 0, fmt.Errorf("unexpected %q after label value", s[i])
+		}
+	}
+}

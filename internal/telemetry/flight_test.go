@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightBasicDump(t *testing.T) {
+	f := NewFlight(128)
+	if got := f.Capacity(); got != 128 {
+		t.Fatalf("Capacity = %d, want 128", got)
+	}
+	f.Begin(1, ControlLane, "remainder", "phase")
+	f.Event(1, ControlLane, "checkpoint", 42)
+	f.End(1, ControlLane, "remainder")
+
+	d := f.Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.Written != 3 || d.Dropped != 0 || len(d.Records) != 3 {
+		t.Fatalf("dump counts: written=%d dropped=%d records=%d", d.Written, d.Dropped, len(d.Records))
+	}
+	if d.Records[1].Kind != KindEvent || d.Records[1].Value != 42 {
+		t.Fatalf("event record mangled: %+v", d.Records[1])
+	}
+	for i, r := range d.Records {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestFlightCapacityClamp(t *testing.T) {
+	f := NewFlight(1)
+	if got := f.Capacity(); got != minFlightCapacity {
+		t.Fatalf("Capacity = %d, want clamp to %d", got, minFlightCapacity)
+	}
+}
+
+// TestFlightWraparound overruns the ring several times with nested
+// spans and checks that the trimmed window still validates: sequence
+// numbers consecutive, nesting preserved, and unmatched Ends excused
+// by the nonzero drop count.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(minFlightCapacity)
+	const laps = 5
+	total := 0
+	for i := 0; i < laps*minFlightCapacity/4; i++ {
+		f.Begin(1, ControlLane, "outer", "phase")
+		f.Begin(1, ControlLane, "inner", "phase")
+		f.End(1, ControlLane, "inner")
+		f.End(1, ControlLane, "outer")
+		total += 4
+	}
+	d := f.Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after wraparound: %v", err)
+	}
+	if d.Written != uint64(total) {
+		t.Fatalf("Written = %d, want %d", d.Written, total)
+	}
+	if d.Dropped == 0 {
+		t.Fatal("expected drops after overrunning the ring")
+	}
+	if len(d.Records) == 0 || len(d.Records) > minFlightCapacity {
+		t.Fatalf("window size %d out of range (capacity %d)", len(d.Records), minFlightCapacity)
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	f := NewFlight(64)
+	f.Begin(7, 0, "split", "task")
+	f.Event(7, -1, "budget_exhausted", 99)
+	f.End(7, 0, "split")
+	var buf bytes.Buffer
+	if err := f.Dump().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateDumpJSON(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateDumpJSON: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d.Records[0].Cat != "task" || d.Records[1].Value != 99 {
+		t.Fatalf("round trip mangled records: %+v", d.Records)
+	}
+}
+
+func TestDumpValidateRejectsCorrupt(t *testing.T) {
+	base := func() *Dump {
+		f := NewFlight(64)
+		f.Begin(1, 0, "a", "task")
+		f.End(1, 0, "a")
+		f.Event(1, -1, "finish", 3)
+		return f.Dump()
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Dump)
+		want    string
+	}{
+		{"schema", func(d *Dump) { d.Schema = "bogus" }, "schema"},
+		{"capacity", func(d *Dump) { d.Capacity = 0 }, "capacity"},
+		{"overfull", func(d *Dump) { d.Capacity = 2 }, "exceed capacity"},
+		{"written", func(d *Dump) { d.Written = 1 }, "written"},
+		{"dropped", func(d *Dump) { d.Dropped = 7 }, "dropped"},
+		{"seq gap", func(d *Dump) { d.Records[2].Seq = 9; d.Written = 10; d.Dropped = 7 }, "not consecutive"},
+		{"empty name", func(d *Dump) { d.Records[1].Name = "" }, "empty name"},
+		{"negative time", func(d *Dump) { d.Records[0].AtNs = -1 }, "negative timestamp"},
+		{"bad kind", func(d *Dump) { d.Records[0].Kind = RecordKind(9) }, "invalid kind"},
+		{"wrong span", func(d *Dump) { d.Records[1].Name = "b" }, "ends span"},
+		{"time travel", func(d *Dump) {
+			d.Records[0].AtNs = d.Records[1].AtNs + 1000
+		}, "back in time"},
+		{"orphan end", func(d *Dump) {
+			d.Records = d.Records[1:] // drop the Begin without admitting drops
+			d.Written = 3
+			d.Dropped = 1
+			d.Records[0].Seq = 0
+			d.Records[1].Seq = 1
+			d.Written = 2
+			d.Dropped = 0
+		}, "no open span"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base()
+			if err := d.Validate(); err != nil {
+				t.Fatalf("base dump invalid: %v", err)
+			}
+			tc.corrupt(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatalf("corrupt dump (%s) validated", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDumpOrphanEndExcusedByDrops pins the wraparound allowance: an
+// End whose Begin fell off the window is legal exactly when records
+// were dropped.
+func TestDumpOrphanEndExcusedByDrops(t *testing.T) {
+	d := &Dump{
+		Schema:   FlightSchema,
+		Capacity: 64,
+		Written:  5,
+		Dropped:  2,
+		Records: []Record{
+			{Seq: 2, Run: 1, Lane: 0, Kind: KindEnd, Name: "lost-begin", AtNs: 10},
+			{Seq: 3, Run: 1, Lane: 0, Kind: KindBegin, Name: "a", Cat: "task", AtNs: 20},
+			{Seq: 4, Run: 1, Lane: 0, Kind: KindEnd, Name: "a", AtNs: 30},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("orphan End with drops rejected: %v", err)
+	}
+}
+
+func TestNilFlight(t *testing.T) {
+	var f *Flight
+	f.Begin(1, 0, "a", "task")
+	f.End(1, 0, "a")
+	f.Event(1, 0, "e", 1)
+	if f.Capacity() != 0 || f.Written() != 0 {
+		t.Fatal("nil flight reports nonzero counts")
+	}
+	if f.Dump() != nil {
+		t.Fatal("nil flight dumped non-nil")
+	}
+	if err := (*Dump)(nil).Validate(); err == nil {
+		t.Fatal("nil dump validated")
+	}
+}
+
+func TestRecordKindJSON(t *testing.T) {
+	for k := KindBegin; k <= KindEvent; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back RecordKind
+		if err := json.Unmarshal(data, &back); err != nil || back != k {
+			t.Fatalf("round trip %v: got %v, err %v", k, back, err)
+		}
+	}
+	if _, err := json.Marshal(RecordKind(9)); err == nil {
+		t.Fatal("invalid kind marshaled")
+	}
+	var k RecordKind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("unknown kind name unmarshaled")
+	}
+}
+
+// TestFlightConcurrent hammers the ring from many goroutines (each on
+// its own lane, as the scheduler does) and checks the dump still
+// forms a consistent window. Run under -race this also proves the
+// write path is data-race free.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(256)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := fmt.Sprintf("task%d", lane)
+				f.Begin(1, lane, name, "task")
+				f.Event(1, lane, "tick", int64(i))
+				f.End(1, lane, name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	d := f.Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("concurrent dump invalid: %v", err)
+	}
+	if d.Written != workers*500*3 {
+		t.Fatalf("Written = %d, want %d", d.Written, workers*500*3)
+	}
+}

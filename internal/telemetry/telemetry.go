@@ -1,0 +1,317 @@
+// Package telemetry is the always-on operational counterpart to the
+// per-run tracing of internal/trace. Where a Tracer records every span
+// of one solve into unbounded lanes (for offline analysis of a single
+// run), telemetry is built to stay enabled in a long-running process:
+//
+//   - a structured event log on log/slog with per-solve lifecycle
+//     events (run ID, start/finish, phase transitions, retries, panic
+//     isolation, budget exhaustion, cancellation);
+//   - a metrics Registry accumulating per-run metrics.Counters
+//     snapshots, scheduler statistics, and trace utilization summaries,
+//     rendered in Prometheus text exposition format;
+//   - a Flight recorder: a fixed-size lock-free ring buffer of recent
+//     spans and events that can be dumped on error, SIGQUIT, or request.
+//
+// Everything is nil-safe in the style of metrics.Counters and
+// trace.Tracer: a nil *Telemetry (and the nil *Run it hands out) makes
+// every call a zero-allocation no-op, so the solver can be plumbed
+// unconditionally and pay nothing when telemetry is disabled.
+//
+// The package depends only on internal/metrics and internal/trace so
+// that sched and core can feed it without an import cycle: sched
+// declares a structural Observer interface that *Run satisfies.
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"realroots/internal/metrics"
+	"realroots/internal/trace"
+)
+
+// Outcome classifies how a solve run ended. The values are the label
+// set of the realroots_solves_total exposition family.
+type Outcome string
+
+const (
+	OutcomeOK       Outcome = "ok"
+	OutcomeCanceled Outcome = "canceled"
+	OutcomeDeadline Outcome = "deadline"
+	OutcomeBudget   Outcome = "budget"
+	OutcomePanic    Outcome = "panic"
+	OutcomeError    Outcome = "error"
+)
+
+// Outcomes lists every outcome in the stable order used by the
+// Prometheus exposition.
+var Outcomes = []Outcome{
+	OutcomeOK, OutcomeCanceled, OutcomeDeadline, OutcomeBudget, OutcomePanic, OutcomeError,
+}
+
+// SchedStats mirrors sched.PoolStats without importing the scheduler
+// (sched feeds telemetry, so the dependency must point this way).
+type SchedStats struct {
+	Executed      int64
+	Panics        int64
+	Retries       int64
+	MaxQueueDepth int64
+}
+
+// ControlLane is the flight-recorder lane for run-lifecycle and phase
+// records, matching trace.ControlLane; worker lanes are ≥ 0.
+const ControlLane = trace.ControlLane
+
+// DefaultFlightCapacity is the flight-recorder ring size used when
+// Config.FlightCapacity is zero.
+const DefaultFlightCapacity = 4096
+
+// Config configures a telemetry hub.
+type Config struct {
+	// Logger receives the structured solve log. nil disables logging;
+	// the registry and flight recorder still run.
+	Logger *slog.Logger
+	// FlightCapacity is the flight-recorder ring size in records
+	// (0 = DefaultFlightCapacity).
+	FlightCapacity int
+}
+
+// Telemetry is the hub tying the three sinks together. One hub serves
+// a whole process: runs from concurrent solves interleave safely.
+type Telemetry struct {
+	logger *slog.Logger
+	flight *Flight
+	reg    *Registry
+	runSeq atomic.Uint64
+}
+
+// New creates a telemetry hub.
+func New(cfg Config) *Telemetry {
+	capacity := cfg.FlightCapacity
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	t := &Telemetry{logger: cfg.Logger, flight: NewFlight(capacity)}
+	t.reg = newRegistry(t.flight)
+	return t
+}
+
+// Flight returns the hub's flight recorder (nil for a nil hub).
+func (t *Telemetry) Flight() *Flight {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
+// Registry returns the hub's metrics registry (nil for a nil hub).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Logger returns the hub's structured logger, which may be nil.
+func (t *Telemetry) Logger() *slog.Logger {
+	if t == nil {
+		return nil
+	}
+	return t.logger
+}
+
+// RunStart opens a new solve run and emits its start event. kind names
+// the entry point ("core" for the parallel pipeline, "sturm" for the
+// sequential baseline); degree, mu, and workers describe the problem.
+// On a nil hub it returns a nil *Run, on which every method is a
+// zero-allocation no-op.
+func (t *Telemetry) RunStart(kind string, degree int, mu uint, workers int) *Run {
+	if t == nil {
+		return nil
+	}
+	r := &Run{
+		ID:      t.runSeq.Add(1),
+		tel:     t,
+		kind:    kind,
+		degree:  degree,
+		mu:      mu,
+		workers: workers,
+		start:   time.Now(),
+	}
+	t.reg.runStarted()
+	t.flight.Event(r.ID, ControlLane, "start", int64(degree))
+	if l := t.logger; l != nil {
+		l.LogAttrs(context.Background(), slog.LevelInfo, "solve start",
+			slog.Uint64("run", r.ID),
+			slog.String("kind", kind),
+			slog.Int("degree", degree),
+			slog.Uint64("mu", uint64(mu)),
+			slog.Int("workers", workers))
+	}
+	return r
+}
+
+// Run is one solve's handle into the hub. It is created by RunStart
+// and closed by Finish. Its Task* methods satisfy sched's Observer
+// interface, so a *Run can be installed directly on a worker pool.
+// A nil *Run is valid everywhere and records nothing.
+type Run struct {
+	// ID is the process-unique run identifier (1-based).
+	ID      uint64
+	tel     *Telemetry
+	kind    string
+	degree  int
+	mu      uint
+	workers int
+	start   time.Time
+
+	// sched stats reported before Finish via SchedStats; written by the
+	// run's control goroutine only.
+	sched    SchedStats
+	hasSched bool
+}
+
+// PhaseBegin opens a named pipeline phase (flight-recorder span on the
+// control lane plus a debug-level log event).
+func (r *Run) PhaseBegin(name string) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Begin(r.ID, ControlLane, name, trace.CatPhase)
+	if l := r.tel.logger; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
+		l.LogAttrs(context.Background(), slog.LevelDebug, "phase begin",
+			slog.Uint64("run", r.ID), slog.String("phase", name))
+	}
+}
+
+// PhaseEnd closes the innermost open phase opened with name.
+func (r *Run) PhaseEnd(name string) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.End(r.ID, ControlLane, name)
+	if l := r.tel.logger; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
+		l.LogAttrs(context.Background(), slog.LevelDebug, "phase end",
+			slog.Uint64("run", r.ID), slog.String("phase", name))
+	}
+}
+
+// Event records a point event on the run's control lane.
+func (r *Run) Event(name string, value int64) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Event(r.ID, ControlLane, name, value)
+}
+
+// BudgetExhausted records the bit-operation budget tripping. It may be
+// called from any goroutine (the arithmetic operation that crosses the
+// limit fires it).
+func (r *Run) BudgetExhausted(bitOps int64) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Event(r.ID, ControlLane, "budget_exhausted", bitOps)
+	if l := r.tel.logger; l != nil {
+		l.LogAttrs(context.Background(), slog.LevelWarn, "budget exhausted",
+			slog.Uint64("run", r.ID), slog.Int64("bitOps", bitOps))
+	}
+}
+
+// SchedStats reports the run's final scheduler statistics; call it
+// before Finish (typically from a defer capturing pool.Stats()).
+func (r *Run) SchedStats(s SchedStats) {
+	if r == nil {
+		return
+	}
+	r.sched = s
+	r.hasSched = true
+}
+
+// Utilization publishes a completed run's trace utilization summary to
+// the registry gauges. Call it only after the traced run finished.
+func (r *Run) Utilization(s trace.Summary) {
+	if r == nil {
+		return
+	}
+	r.tel.reg.setUtilization(s)
+}
+
+// Finish closes the run: it emits the finish event and log record and
+// folds the run's totals (outcome, wall time, roots, bit-operation
+// metrics, scheduler stats) into the registry.
+func (r *Run) Finish(o Outcome, roots int, bitOps int64, rep metrics.Report) {
+	if r == nil {
+		return
+	}
+	elapsed := time.Since(r.start)
+	r.tel.flight.Event(r.ID, ControlLane, "finish", int64(roots))
+	r.tel.reg.finishRun(o, elapsed, roots, bitOps, rep, r.sched, r.hasSched)
+	if l := r.tel.logger; l != nil {
+		level := slog.LevelInfo
+		switch o {
+		case OutcomeOK:
+		case OutcomePanic:
+			level = slog.LevelError
+		default:
+			level = slog.LevelWarn
+		}
+		l.LogAttrs(context.Background(), level, "solve finish",
+			slog.Uint64("run", r.ID),
+			slog.String("kind", r.kind),
+			slog.String("outcome", string(o)),
+			slog.Int("roots", roots),
+			slog.Int64("bitOps", bitOps),
+			slog.Duration("elapsed", elapsed))
+	}
+}
+
+// TaskStart records a scheduler task beginning on a worker lane. With
+// TaskDone, TaskPanic, and TaskRetry it satisfies sched's Observer
+// interface.
+func (r *Run) TaskStart(worker int, tag string) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Begin(r.ID, worker, tag, trace.CatTask)
+}
+
+// TaskDone records a scheduler task finishing on a worker lane.
+func (r *Run) TaskDone(worker int, tag string) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.End(r.ID, worker, tag)
+}
+
+// TaskPanic records a task panic isolated by the scheduler.
+func (r *Run) TaskPanic(worker int, tag string, v any) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Event(r.ID, worker, "panic:"+tag, 0)
+	if l := r.tel.logger; l != nil {
+		l.LogAttrs(context.Background(), slog.LevelError, "task panic",
+			slog.Uint64("run", r.ID),
+			slog.Int("worker", worker),
+			slog.String("task", tag),
+			slog.Any("value", v))
+	}
+}
+
+// TaskRetry records a failed attempt being requeued; left is the
+// number of attempts remaining.
+func (r *Run) TaskRetry(tag string, left int) {
+	if r == nil {
+		return
+	}
+	r.tel.flight.Event(r.ID, ControlLane, "retry:"+tag, int64(left))
+	if l := r.tel.logger; l != nil {
+		l.LogAttrs(context.Background(), slog.LevelWarn, "task retry",
+			slog.Uint64("run", r.ID),
+			slog.String("task", tag),
+			slog.Int("attemptsLeft", left))
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"realroots/internal/metrics"
+)
+
+// logLines parses a JSON-lines slog buffer.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func findLog(lines []map[string]any, msg string) map[string]any {
+	for _, m := range lines {
+		if m["msg"] == msg {
+			return m
+		}
+	}
+	return nil
+}
+
+func TestRunLifecycleLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tel := New(Config{Logger: logger})
+
+	run := tel.RunStart("core", 20, 16, 4)
+	if run.ID != 1 {
+		t.Fatalf("first run ID = %d", run.ID)
+	}
+	run.PhaseBegin("remainder")
+	run.PhaseEnd("remainder")
+	run.BudgetExhausted(12345)
+	run.TaskRetry("chunk", 2)
+	run.TaskPanic(3, "chunk", "boom")
+	run.Finish(OutcomeOK, 5, 999, metrics.Report{})
+
+	lines := logLines(t, &buf)
+	start := findLog(lines, "solve start")
+	if start == nil || start["kind"] != "core" || start["degree"] != float64(20) {
+		t.Fatalf("solve start line: %v", start)
+	}
+	if pb := findLog(lines, "phase begin"); pb == nil || pb["phase"] != "remainder" {
+		t.Fatalf("phase begin line: %v", pb)
+	}
+	if be := findLog(lines, "budget exhausted"); be == nil || be["level"] != "WARN" {
+		t.Fatalf("budget exhausted line: %v", be)
+	}
+	if tr := findLog(lines, "task retry"); tr == nil || tr["level"] != "WARN" || tr["attemptsLeft"] != float64(2) {
+		t.Fatalf("task retry line: %v", tr)
+	}
+	if tp := findLog(lines, "task panic"); tp == nil || tp["level"] != "ERROR" || tp["worker"] != float64(3) {
+		t.Fatalf("task panic line: %v", tp)
+	}
+	fin := findLog(lines, "solve finish")
+	if fin == nil || fin["outcome"] != "ok" || fin["level"] != "INFO" || fin["roots"] != float64(5) {
+		t.Fatalf("solve finish line: %v", fin)
+	}
+
+	// The same lifecycle also landed in the flight recorder…
+	d := tel.Flight().Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range d.Records {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"start", "remainder", "budget_exhausted", "retry:chunk", "panic:chunk", "finish"} {
+		if !names[want] {
+			t.Errorf("flight recorder missing %q record (have %v)", want, names)
+		}
+	}
+	// …and in the registry.
+	if tot := tel.Registry().Totals(); tot.Solves[OutcomeOK] != 1 || tot.Roots != 5 {
+		t.Fatalf("registry totals: %+v", tot)
+	}
+}
+
+func TestFinishLogLevels(t *testing.T) {
+	cases := []struct {
+		o    Outcome
+		want string
+	}{
+		{OutcomeOK, "INFO"},
+		{OutcomePanic, "ERROR"},
+		{OutcomeBudget, "WARN"},
+		{OutcomeCanceled, "WARN"},
+		{OutcomeDeadline, "WARN"},
+		{OutcomeError, "WARN"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		tel := New(Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+		tel.RunStart("core", 4, 4, 1).Finish(tc.o, 0, 0, metrics.Report{})
+		fin := findLog(logLines(t, &buf), "solve finish")
+		if fin == nil || fin["level"] != tc.want {
+			t.Errorf("outcome %s logged at %v, want %s", tc.o, fin["level"], tc.want)
+		}
+	}
+}
+
+func TestNoLoggerStillRecords(t *testing.T) {
+	tel := New(Config{})
+	if tel.Logger() != nil {
+		t.Fatal("unexpected logger")
+	}
+	run := tel.RunStart("sturm", 8, 4, 1)
+	run.PhaseBegin("sturm")
+	run.PhaseEnd("sturm")
+	run.Finish(OutcomeOK, 2, 10, metrics.Report{})
+	if tel.Flight().Written() == 0 {
+		t.Fatal("flight recorder idle without a logger")
+	}
+	if tel.Registry().Totals().Solves[OutcomeOK] != 1 {
+		t.Fatal("registry idle without a logger")
+	}
+}
+
+func TestNilHubAndRun(t *testing.T) {
+	var tel *Telemetry
+	if tel.Flight() != nil || tel.Registry() != nil || tel.Logger() != nil {
+		t.Fatal("nil hub handed out non-nil sinks")
+	}
+	run := tel.RunStart("core", 10, 16, 2)
+	if run != nil {
+		t.Fatal("nil hub returned a live run")
+	}
+	// Every method must be callable on the nil run.
+	run.PhaseBegin("a")
+	run.PhaseEnd("a")
+	run.Event("e", 1)
+	run.BudgetExhausted(1)
+	run.SchedStats(SchedStats{})
+	run.Finish(OutcomeOK, 0, 0, metrics.Report{})
+	run.TaskStart(0, "t")
+	run.TaskDone(0, "t")
+	run.TaskPanic(0, "t", nil)
+	run.TaskRetry("t", 1)
+}
+
+func TestRunIDsAreUnique(t *testing.T) {
+	tel := New(Config{})
+	a := tel.RunStart("core", 4, 4, 1)
+	b := tel.RunStart("sturm", 4, 4, 1)
+	if a.ID == b.ID {
+		t.Fatalf("duplicate run IDs: %d", a.ID)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"realroots/internal/poly"
 	"realroots/internal/remseq"
 	"realroots/internal/sturm"
+	"realroots/internal/telemetry"
 	"realroots/internal/trace"
 )
 
@@ -112,6 +113,15 @@ type Options struct {
 	// shared timeline. Nil (the default) disables tracing and adds no
 	// allocations to the solver hot path.
 	Tracer *Tracer
+	// Telemetry, if non-nil, attaches the run to an always-on telemetry
+	// hub: a structured slog record per solve lifecycle event, the
+	// run's metrics folded into a Prometheus-scrapable registry, and
+	// recent spans kept in a bounded flight recorder. Create one hub
+	// per process with NewTelemetry and share it across runs; serve its
+	// endpoints with Telemetry.Serve. Unlike Tracer, a hub is designed
+	// to stay attached in production: its memory is bounded and nil
+	// (the default) adds no allocations to the solver hot path.
+	Telemetry *Telemetry
 }
 
 // Tracer records wall-clock spans of a solver run; see Options.Tracer.
@@ -121,6 +131,20 @@ type Tracer = trace.Tracer
 // NewTracer returns an empty Tracer whose epoch (trace time zero) is
 // the moment of the call.
 func NewTracer() *Tracer { return trace.New() }
+
+// Telemetry is an always-on observability hub: structured solve logs,
+// a Prometheus-exposition metrics registry, and a fixed-size flight
+// recorder of recent events; see Options.Telemetry. Methods on a nil
+// *Telemetry are allocation-free no-ops.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryConfig configures NewTelemetry: an optional slog logger for
+// the structured event log and the flight-recorder capacity.
+type TelemetryConfig = telemetry.Config
+
+// NewTelemetry creates a telemetry hub. One hub serves a whole
+// process; concurrent runs interleave safely.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
 
 func (o *Options) coreOptions() core.Options {
 	opts := core.Options{Mu: 32, Method: interval.MethodHybrid}
@@ -134,6 +158,7 @@ func (o *Options) coreOptions() core.Options {
 	opts.SequentialPrecompute = o.SequentialPrecompute
 	opts.MaxBitOps = o.MaxBitOps
 	opts.Tracer = o.Tracer
+	opts.Telemetry = o.Telemetry
 	// Direct cast: out-of-range values survive the mapping and are
 	// rejected by core's option validation.
 	opts.Profile = mp.Profile(o.Profile)
@@ -391,8 +416,9 @@ func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options)
 	}
 	ctx, cancel := withTimeout(ctx, opts)
 	defer cancel()
+	run := co.Telemetry.RunStart("sturm", p.Degree(), co.Mu, 1)
 	var counters metrics.Counters
-	counters.SetBudget(co.MaxBitOps, nil)
+	counters.SetBudget(co.MaxBitOps, func() { run.BudgetExhausted(counters.BitOps()) })
 	stop := func() error {
 		if err := ctx.Err(); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -407,8 +433,17 @@ func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options)
 	}
 	ctl := co.Tracer.Lane(trace.ControlLane, "control")
 	ctl.Begin("sturm", trace.CatTask)
+	run.PhaseBegin("sturm")
 	ds, err := sturm.FindRootsStop(p, co.Mu, metrics.Ctx{C: &counters, Profile: co.Profile}, stop)
+	run.PhaseEnd("sturm")
 	ctl.End()
+	if run != nil {
+		nroots := 0
+		if err == nil {
+			nroots = len(ds)
+		}
+		run.Finish(core.RunOutcome(err), nroots, counters.BitOps(), counters.Snapshot())
+	}
 	if err != nil {
 		if core.IsResilience(err) {
 			return &Result{Degree: p.Degree(), Precision: co.Mu, Elapsed: time.Since(start)}, err
