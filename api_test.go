@@ -1,0 +1,78 @@
+package realroots
+
+import "testing"
+
+// TestMethodNamesRoundTrip pins the method names the solve server's
+// request schema accepts: ParseMethod must invert String for every
+// method, and reject anything else.
+func TestMethodNamesRoundTrip(t *testing.T) {
+	for _, m := range []Method{Hybrid, Bisection, Newton} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "HYBRID", "secant", "hybrid "} {
+		if _, err := ParseMethod(bad); err == nil {
+			t.Errorf("ParseMethod(%q) accepted", bad)
+		}
+	}
+}
+
+// TestProfileNamesRoundTrip pins the profile names: "paper" and
+// "schoolbook" are aliases for the default, "fast" selects the
+// subquadratic kernels, anything else errors.
+func TestProfileNamesRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		want Profile
+	}{
+		{"paper", ProfilePaper},
+		{"schoolbook", ProfilePaper},
+		{"fast", ProfileFast},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("ParseProfile(%q) = %v, %v, want %v", c.name, got, err, c.want)
+		}
+	}
+	if _, err := ParseProfile("karatsuba"); err == nil {
+		t.Error("ParseProfile accepted an unknown name")
+	}
+	if got, err := ParseProfile(ProfileFast.String()); err != nil || got != ProfileFast {
+		t.Errorf("ParseProfile does not invert String: %v, %v", got, err)
+	}
+}
+
+// TestEstimateBitOpsSane checks the admission-control estimate is a
+// usable budget: positive, monotone in each parameter, and an upper
+// bound loose enough that a real solve of the estimated shape fits
+// under it (rootd rejects with 422 budget_exceeded otherwise).
+func TestEstimateBitOpsSane(t *testing.T) {
+	base := EstimateBitOps(10, 8, 16)
+	if base <= 0 {
+		t.Fatalf("estimate %d not positive", base)
+	}
+	if e := EstimateBitOps(20, 8, 16); e <= base {
+		t.Errorf("estimate not monotone in degree: %d vs %d", e, base)
+	}
+	if e := EstimateBitOps(10, 64, 16); e <= base {
+		t.Errorf("estimate not monotone in coefficient size: %d vs %d", e, base)
+	}
+	if e := EstimateBitOps(10, 8, 48); e <= base {
+		t.Errorf("estimate not monotone in precision: %d vs %d", e, base)
+	}
+
+	// The estimate must admit the solve it describes: use it as the
+	// budget for a matching instance and expect success.
+	coeffs := []int64{24, -50, 35, -10, 1} // (x-1)(x-2)(x-3)(x-4)
+	budget := EstimateBitOps(4, 6, 24)
+	res, err := FindRootsInt64(coeffs, &Options{Precision: 24, MaxBitOps: budget})
+	if err != nil {
+		t.Fatalf("solve under its own estimate failed: %v (budget %d)", err, budget)
+	}
+	if len(res.Roots) != 4 {
+		t.Fatalf("roots = %d, want 4", len(res.Roots))
+	}
+}

@@ -8,6 +8,7 @@
 //	rootbench -exp speedups -degrees 35,50,70 -procs 1,2,4,8,16 -mus 4,32
 //	rootbench -exp conformance            # differential-oracle sweep (≥200 cases)
 //	rootbench -exp soak -telemetry :9090  # sustained workload with live /metrics
+//	rootbench -exp loadtest -load-out load.json   # drive rootd (in-process or -server URL), report p50/p99/throughput
 //	rootbench -compare old.json new.json  # bench regression gate over two grid snapshots
 //
 // The full grid (degrees up to 70, all µ, all worker counts, 3 seeds)
@@ -80,6 +81,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (code 
 		metricsOut    = fs.String("metrics-out", "", "write the final Prometheus text exposition to this file on exit")
 		soakSolves    = fs.Int("soak-solves", 0, "soak experiment: stop after this many solves (default "+strconv.Itoa(harness.DefaultSoakSolves)+" when no -soak-seconds)")
 		soakSeconds   = fs.Float64("soak-seconds", 0, "soak experiment: stop after this much wall time")
+
+		serverURL   = fs.String("server", "", "loadtest experiment: target a running rootd at this base URL (default: in-process server)")
+		loadReqs    = fs.Int("load-requests", 0, "loadtest experiment: requests per grid cell (default 3)")
+		loadClients = fs.Int("load-concurrency", 0, "loadtest experiment: concurrent client goroutines (default 8)")
+		loadTenants = fs.Int("load-tenants", 0, "loadtest experiment: tenants the requests are spread over (default 4)")
+		loadOut     = fs.String("load-out", "", "loadtest experiment: write a "+harness.GridSchema+" JSON report with latency percentiles to this file ('-' for stdout)")
 
 		compare       = fs.Bool("compare", false, "compare two bench-grid JSON snapshots (old.json new.json as positional args), print a regression table, and exit nonzero on regressions; skips -exp")
 		threshold     = fs.Float64("threshold", 25, "with -compare: fail on any matched cell regressing more than this percentage")
@@ -162,6 +169,23 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (code 
 	cfg.SoakSolves = *soakSolves
 	if *soakSeconds > 0 {
 		cfg.SoakDuration = time.Duration(*soakSeconds * float64(time.Second))
+	}
+	cfg.ServerURL = *serverURL
+	cfg.LoadRequests = *loadReqs
+	cfg.LoadConcurrency = *loadClients
+	cfg.LoadTenants = *loadTenants
+	if *loadOut != "" {
+		if *loadOut == "-" {
+			cfg.LoadJSON = stdout
+		} else {
+			f, err := os.Create(*loadOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "rootbench: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			cfg.LoadJSON = f
+		}
 	}
 
 	// Telemetry hub: created when any telemetry flag asks for it. All

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lineWriter is a concurrency-safe sink that lets the test wait for
+// the "listening on" line and extract the bound address.
+type lineWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`rootd: listening on (http://\S+)`)
+
+// TestRunServeSolveDrain boots the real binary entry point on an
+// ephemeral port, solves over HTTP, then cancels the context (the
+// SIGTERM path) and expects a clean drain.
+func TestRunServeSolveDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out lineWriter
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet", "-drain-timeout", "5s"}, &out)
+	}()
+
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("server did not announce its address; stderr:\n%s", out.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post(url+"/v1/solve", "application/json",
+		strings.NewReader(`{"poly":{"coeffs":["-2","0","1"]},"precision":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, body)
+	}
+	var solved struct {
+		Roots []struct {
+			Value string `json:"value"`
+		} `json:"roots"`
+	}
+	if err := json.Unmarshal(body, &solved); err != nil {
+		t.Fatal(err)
+	}
+	if len(solved.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(solved.Roots))
+	}
+	if resp, err := http.Get(url + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	cancel() // the signal path
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+	if !strings.Contains(out.String(), "rootd: drained") {
+		t.Errorf("missing drain log; stderr:\n%s", out.String())
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestRunBadFlags checks flag errors surface as errors (main exits 2).
+func TestRunBadFlags(t *testing.T) {
+	var out lineWriter
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-profile", "quantum"}, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &out); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+	if err := run(context.Background(), []string{"-h"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from the curre
 // pinned.
 var (
 	deterministicExps = []string{"conformance", "figs2to5", "fig6", "fig7", "phases", "table1"}
-	timingExps        = []string{"ablations", "fig8", "soak", "speedups", "table2", "times", "utilization"}
+	timingExps        = []string{"ablations", "fig8", "loadtest", "soak", "speedups", "table2", "times", "utilization"}
 )
 
 var floatRE = regexp.MustCompile(`-?\d+\.\d+(e[+-]\d+)?`)

@@ -72,6 +72,20 @@ type Config struct {
 	// DefaultSoakSolves solves.
 	SoakSolves   int
 	SoakDuration time.Duration
+	// ServerURL points the loadtest experiment at a running rootd server.
+	// Empty starts an in-process server on an ephemeral port, which keeps
+	// the experiment hermetic (the golden-test default).
+	ServerURL string
+	// LoadRequests is the number of loadtest requests per grid cell
+	// (default 3), LoadConcurrency the number of client goroutines
+	// (default 8), and LoadTenants the number of tenants the requests are
+	// spread over (default 4).
+	LoadRequests    int
+	LoadConcurrency int
+	LoadTenants     int
+	// LoadJSON, if non-nil, receives the loadtest's bench-grid/v1 report
+	// with per-cell latency percentiles (cmd/rootbench wires -load-out).
+	LoadJSON io.Writer
 }
 
 // ErrInterrupted reports that an experiment stopped early because
@@ -635,6 +649,7 @@ var Experiments = map[string]func(io.Writer, Config) error{
 	"ablations":   Ablations,
 	"utilization": Utilization,
 	"soak":        Soak,
+	"loadtest":    Loadtest,
 }
 
 // Names returns the experiment ids in a stable order.

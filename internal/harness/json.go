@@ -30,6 +30,12 @@ type GridCell struct {
 	BitOps      int64          `json:"bitOps"`
 	Tasks       int64          `json:"tasks,omitempty"`
 	Metrics     metrics.Report `json:"metrics"`
+	// Loadtest cells additionally carry client-observed latency
+	// percentiles and throughput; WallSeconds doubles as p50 there so the
+	// -compare gate works unchanged on loadtest reports.
+	P50Seconds    float64 `json:"p50Seconds,omitempty"`
+	P99Seconds    float64 `json:"p99Seconds,omitempty"`
+	ThroughputRPS float64 `json:"throughputRPS,omitempty"`
 }
 
 // GridReport is the machine-readable counterpart of the Times/Table2
@@ -142,6 +148,12 @@ func ValidateGridJSON(data []byte) error {
 		}
 		if c.Metrics.Total().Muls <= 0 {
 			return fmt.Errorf("grid json: cell %d recorded no multiplications", i)
+		}
+		if c.P50Seconds < 0 || c.P99Seconds < 0 || c.ThroughputRPS < 0 {
+			return fmt.Errorf("grid json: cell %d has negative load statistics", i)
+		}
+		if c.P99Seconds < c.P50Seconds {
+			return fmt.Errorf("grid json: cell %d has p99 %.6g below p50 %.6g", i, c.P99Seconds, c.P50Seconds)
 		}
 	}
 	return nil

@@ -1,0 +1,343 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"realroots/internal/server"
+	"realroots/internal/workload"
+)
+
+// Loadtest drives the rootd solve server with a mixed multi-tenant
+// workload and reports client-observed p50/p99 latency and throughput
+// per grid cell. With Config.ServerURL empty an in-process server is
+// started on an ephemeral port (the hermetic default used by the
+// golden tests); point ServerURL at a running rootd to measure a real
+// deployment. Requests mix the polynomial and matrix (charpoly twin)
+// forms of each instance and are spread round-robin over
+// Config.LoadTenants tenants, shuffled deterministically, and issued
+// by Config.LoadConcurrency client goroutines. When Config.LoadJSON is
+// set, a bench-grid/v1 report with per-cell latency percentiles is
+// written there for the -compare regression gate.
+func Loadtest(w io.Writer, cfg Config) error {
+	perCell := cfg.LoadRequests
+	if perCell <= 0 {
+		perCell = 3
+	}
+	concurrency := cfg.LoadConcurrency
+	if concurrency <= 0 {
+		concurrency = 8
+	}
+	tenants := cfg.LoadTenants
+	if tenants <= 0 {
+		tenants = 4
+	}
+
+	baseURL := cfg.ServerURL
+	target := baseURL
+	if baseURL == "" {
+		maxProcs := 1
+		for _, p := range cfg.Procs {
+			if p > maxProcs {
+				maxProcs = p
+			}
+		}
+		srv := server.New(server.Config{
+			MaxConcurrent:   maxProcs * 2,
+			MaxQueue:        len(cfg.Degrees) * len(cfg.Mus) * len(cfg.Procs) * perCell,
+			WorkersPerSolve: maxProcs,
+			CacheEntries:    1024,
+			DefaultProfile:  cfg.Profile,
+			Telemetry:       cfg.Telemetry,
+		})
+		running, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("loadtest: starting in-process server: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			running.Close(ctx)
+		}()
+		baseURL = running.URL()
+		target = "in-process server" // never print the ephemeral port: goldens
+	}
+
+	type cellShape struct {
+		n     int
+		mu    uint
+		procs int
+	}
+	var cells []cellShape
+	for _, n := range cfg.Degrees {
+		for _, mu := range cfg.Mus {
+			for _, p := range cfg.Procs {
+				cells = append(cells, cellShape{n, mu, p})
+			}
+		}
+	}
+
+	type request struct {
+		cell   int
+		body   string
+		tenant string
+	}
+	seed := cfg.Seeds[0]
+	var reqs []request
+	for ci, c := range cells {
+		for r := 0; r < perCell; r++ {
+			tenant := fmt.Sprintf("tenant%d", (ci*perCell+r)%tenants)
+			var payload string
+			if r%2 == 1 && c.n <= server.MaxMatrixDim {
+				rows, err := json.Marshal(workload.SymmetricRows01(seed, c.n))
+				if err != nil {
+					return err
+				}
+				payload = fmt.Sprintf(`"matrix":{"rows":%s}`, rows)
+			} else {
+				p := Instance(seed, c.n)
+				coeffs := make([]string, p.Degree()+1)
+				for i := range coeffs {
+					coeffs[i] = fmt.Sprintf("%q", p.Coeff(i).String())
+				}
+				payload = fmt.Sprintf(`"poly":{"coeffs":[%s]}`, strings.Join(coeffs, ","))
+			}
+			body := fmt.Sprintf(`{"tenant":%q,%s,"precision":%d,"workers":%d}`,
+				tenant, payload, c.mu, c.procs)
+			reqs = append(reqs, request{cell: ci, body: body, tenant: tenant})
+		}
+	}
+	rand.New(rand.NewSource(seed)).Shuffle(len(reqs), func(i, j int) {
+		reqs[i], reqs[j] = reqs[j], reqs[i]
+	})
+
+	type sample struct {
+		cell    int
+		latency time.Duration
+		resp    *server.SolveResponse
+		errCode string
+	}
+	samples := make([]sample, len(reqs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Minute}
+	defer client.CloseIdleConnections()
+	sweepStart := time.Now()
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				resp, err := client.Post(baseURL+"/v1/solve", "application/json",
+					strings.NewReader(reqs[i].body))
+				latency := time.Since(start)
+				s := sample{cell: reqs[i].cell, latency: latency}
+				if err != nil {
+					s.errCode = "transport"
+				} else {
+					data, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch {
+					case rerr != nil:
+						s.errCode = "transport"
+					case resp.StatusCode == http.StatusOK:
+						var out server.SolveResponse
+						if jerr := json.Unmarshal(data, &out); jerr != nil {
+							s.errCode = "transport"
+						} else {
+							s.resp = &out
+						}
+					default:
+						var eresp server.ErrorResponse
+						if jerr := json.Unmarshal(data, &eresp); jerr != nil || eresp.Error.Code == "" {
+							s.errCode = "untyped"
+						} else {
+							s.errCode = eresp.Error.Code
+						}
+					}
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	interruptedEarly := false
+	for i := range reqs {
+		if err := cfg.interrupted(); err != nil {
+			interruptedEarly = true
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	sweepWall := time.Since(sweepStart)
+
+	// Fold samples into cells.
+	type cellStats struct {
+		latencies []time.Duration
+		errors    int
+		resp      *server.SolveResponse
+	}
+	stats := make([]cellStats, len(cells))
+	totalReqs, totalErrs, uniqueSolves, sharedResults := 0, 0, 0, 0
+	for _, s := range samples {
+		if s.latency == 0 && s.resp == nil && s.errCode == "" {
+			continue // request never issued (interrupted)
+		}
+		totalReqs++
+		cs := &stats[s.cell]
+		cs.latencies = append(cs.latencies, s.latency)
+		if s.resp == nil {
+			cs.errors++
+			totalErrs++
+			continue
+		}
+		if s.resp.Cached {
+			sharedResults++
+		} else {
+			uniqueSolves++
+		}
+		if cs.resp == nil {
+			cs.resp = s.resp
+		}
+	}
+
+	fmt.Fprintf(w, "loadtest: %d requests over %d cells, %d clients, %d tenants against %s\n",
+		totalReqs, len(cells), concurrency, tenants, target)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tµ\tP\treq\terr\tp50(ms)\tp99(ms)\treq/s")
+	var rep GridReport
+	rep.Schema = GridSchema
+	profName := ""
+	if cfg.Profile.String() != "schoolbook" {
+		profName = cfg.Profile.String()
+	}
+	for ci, c := range cells {
+		cs := &stats[ci]
+		if len(cs.latencies) == 0 {
+			continue
+		}
+		sort.Slice(cs.latencies, func(i, j int) bool { return cs.latencies[i] < cs.latencies[j] })
+		p50 := percentile(cs.latencies, 50)
+		p99 := percentile(cs.latencies, 99)
+		var cellSeconds float64
+		for _, l := range cs.latencies {
+			cellSeconds += l.Seconds()
+		}
+		rps := float64(len(cs.latencies)) / cellSeconds
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%.1f\n",
+			c.n, c.mu, c.procs, len(cs.latencies), cs.errors,
+			float64(p50)/float64(time.Millisecond), float64(p99)/float64(time.Millisecond), rps)
+		if cs.resp != nil {
+			cell := GridCell{
+				Degree:        c.n,
+				Mu:            c.mu,
+				Procs:         c.procs,
+				Seed:          seed,
+				Profile:       profName,
+				WallSeconds:   p50.Seconds(),
+				BitOps:        cs.resp.BitOps,
+				P50Seconds:    p50.Seconds(),
+				P99Seconds:    p99.Seconds(),
+				ThroughputRPS: rps,
+			}
+			if cs.resp.Metrics != nil {
+				cell.Metrics = *cs.resp.Metrics
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "total: %d requests (%d solved, %d cache-shared), %d errors, %.1f req/s overall\n",
+		totalReqs, uniqueSolves, sharedResults, totalErrs, float64(totalReqs)/sweepWall.Seconds())
+
+	if cfg.LoadJSON != nil {
+		enc := json.NewEncoder(cfg.LoadJSON)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			return err
+		}
+	}
+	if interruptedEarly {
+		return ErrInterrupted
+	}
+	if totalErrs > 0 {
+		var codes []string
+		seen := map[string]bool{}
+		for _, s := range samples {
+			if s.errCode != "" && !seen[s.errCode] {
+				seen[s.errCode] = true
+				codes = append(codes, s.errCode)
+			}
+		}
+		return fmt.Errorf("loadtest: %d/%d requests failed (codes: %s)",
+			totalErrs, totalReqs, strings.Join(codes, ", "))
+	}
+	return nil
+}
+
+// percentile returns the pth percentile (nearest-rank) of sorted
+// latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 · n), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// ScrubExposition reduces a /metrics exposition to its stable
+// structure for golden comparison under concurrent load: HELP/TYPE
+// lines are kept verbatim, every sample value is replaced with '#',
+// and sample lines of the phase- and operand-keyed families are
+// dropped entirely (the registry omits zero-valued phase samples, so
+// which lines appear depends on scheduling).
+func ScrubExposition(expo []byte) string {
+	unstable := []string{
+		"realroots_phase_ops_total{",
+		"realroots_phase_bits_total{",
+		"realroots_operand_bits_ops_total{",
+	}
+	var out bytes.Buffer
+	for _, line := range strings.Split(string(expo), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fmt.Fprintln(&out, line)
+			continue
+		}
+		skip := false
+		for _, p := range unstable {
+			if strings.HasPrefix(line, p) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			line = line[:i] + " #"
+		}
+		fmt.Fprintln(&out, line)
+	}
+	return out.String()
+}

@@ -366,3 +366,26 @@ func (p Params) WorstCaseIntervalEvals(d int) float64 {
 	x := p.X()
 	return 0.5*math.Log2(x)*math.Log2(x) + math.Log2(10*float64(d)*float64(d)) + math.Log2(x)
 }
+
+// EstimateBitOps predicts the total schoolbook bit-operation cost
+// (Σ bitlen·bitlen over multiplications, the metrics.BitOps measure) of
+// a full solve of a degree-n polynomial with m-bit coefficients at
+// output precision µ. It is the cost model cmd/rootd's admission
+// control uses to decide, before running anything, whether a request
+// fits the server's in-flight bit-operation budget. The estimate uses
+// the Cauchy root bound R ≤ m+1, so it is an a-priori upper-end figure:
+// expect it to overshoot the measured metrics.Counters.BitOps on easy
+// inputs (the paper's own Figure 7 conclusion).
+func EstimateBitOps(n, m int, mu uint) int64 {
+	if n < 1 {
+		return 0
+	}
+	if m < 1 {
+		m = 1
+	}
+	bits := Params{N: n, M: m, Mu: mu, R: m + 1}.Predict().Total().Bits
+	if bits >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(bits)
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// resultCache combines an LRU result cache with in-flight request
+// deduplication (single-flight): identical requests arriving while one
+// is already solving join its flight and share the one result, and
+// completed successes are retained up to a fixed entry count with
+// least-recently-used eviction. Failures are never cached — a budget or
+// timeout failure under one request's limits says nothing about a
+// retry's. The cached *SolveResponse values are shared read-only
+// between callers; the handler shallow-copies before mutating.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // key → element whose Value is *cacheEntry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+	// onEvent observes cache activity for the rootd_cache_events_total
+	// family: "hit", "join", "miss", "evict". Called without the lock.
+	onEvent func(event string)
+}
+
+type cacheEntry struct {
+	key  string
+	resp *SolveResponse
+}
+
+type flight struct {
+	done chan struct{} // closed once resp/err are set
+	resp *SolveResponse
+	err  error
+}
+
+func newResultCache(capacity int, onEvent func(string)) *resultCache {
+	if onEvent == nil {
+		onEvent = func(string) {}
+	}
+	return &resultCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+		onEvent:  onEvent,
+	}
+}
+
+// Do returns the cached response for key, joins an in-flight identical
+// solve, or runs fn as the flight leader. cached reports whether the
+// response came from the cache or another flight (i.e. fn was not run
+// by this call). A joiner whose ctx ends before the leader finishes
+// gets a canceled/deadline RequestError; the leader itself ignores ctx
+// (its fn manages its own context).
+func (c *resultCache) Do(ctx context.Context, key string, fn func() (*SolveResponse, error)) (resp *SolveResponse, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.mu.Unlock()
+		c.onEvent("hit")
+		return resp, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.onEvent("join")
+		select {
+		case <-fl.done:
+			return fl.resp, true, fl.err
+		case <-ctx.Done():
+			if ctx.Err() == context.DeadlineExceeded {
+				return nil, false, &RequestError{Code: CodeDeadline, Msg: "timed out waiting for an identical in-flight solve"}
+			}
+			return nil, false, &RequestError{Code: CodeCanceled, Msg: "canceled while waiting for an identical in-flight solve"}
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	c.onEvent("miss")
+
+	fl.resp, fl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && c.capacity > 0 {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, resp: fl.resp})
+		var evicted int
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			evicted++
+		}
+		c.mu.Unlock()
+		for ; evicted > 0; evicted-- {
+			c.onEvent("evict")
+		}
+	} else {
+		c.mu.Unlock()
+	}
+	close(fl.done)
+	return fl.resp, false, fl.err
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

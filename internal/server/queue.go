@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// fairQueue admits solves onto a fixed number of slots with round-robin
+// fairness across tenants: each tenant has its own FIFO of waiting
+// tickets, and freed slots rotate over tenants that have waiters, so a
+// tenant flooding the queue delays only itself. There is no dispatcher
+// goroutine — the releasing solve hands its slot directly to the next
+// ticket under the queue lock, which keeps the drain path free of
+// background goroutines to leak.
+type fairQueue struct {
+	mu      sync.Mutex
+	slots   int // free solve slots
+	maxWait int // waiting-ticket capacity across all tenants
+	waiting int
+	tenants map[string]*tenantFIFO
+	ring    []string // tenants with waiters, in round-robin order
+	next    int      // ring index to serve next
+}
+
+type tenantFIFO struct {
+	tickets []*ticket
+}
+
+type ticket struct {
+	ready     chan struct{} // closed when the ticket is granted a slot
+	granted   bool          // guarded by fairQueue.mu
+	abandoned bool          // guarded by fairQueue.mu; set when the waiter gave up
+}
+
+func newFairQueue(slots, maxWait int) *fairQueue {
+	return &fairQueue{slots: slots, maxWait: maxWait, tenants: map[string]*tenantFIFO{}}
+}
+
+// Acquire blocks until the caller holds a solve slot, the context ends,
+// or the waiting queue is full. On nil return the caller must Release.
+func (q *fairQueue) Acquire(ctx context.Context, tenant string) error {
+	q.mu.Lock()
+	if q.slots > 0 {
+		// No waiters can exist while slots are free: Release hands
+		// slots to waiters before returning them to the pool.
+		q.slots--
+		q.mu.Unlock()
+		return nil
+	}
+	if q.waiting >= q.maxWait {
+		q.mu.Unlock()
+		return &RequestError{Code: CodeQueueFull, Msg: "solve queue is full"}
+	}
+	t := &ticket{ready: make(chan struct{})}
+	fifo := q.tenants[tenant]
+	if fifo == nil {
+		fifo = &tenantFIFO{}
+		q.tenants[tenant] = fifo
+		q.ring = append(q.ring, tenant)
+	}
+	fifo.tickets = append(fifo.tickets, t)
+	q.waiting++
+	q.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if t.granted {
+			// The slot arrived while we were giving up: pass it on.
+			q.releaseLocked()
+			q.mu.Unlock()
+			return nil
+		}
+		t.abandoned = true
+		q.waiting--
+		q.mu.Unlock()
+		if ctx.Err() == context.DeadlineExceeded {
+			return &RequestError{Code: CodeDeadline, Msg: "timed out waiting for a solve slot"}
+		}
+		return &RequestError{Code: CodeCanceled, Msg: "canceled while waiting for a solve slot"}
+	}
+}
+
+// Release returns the caller's slot, granting it to the next waiting
+// ticket round-robin across tenants if any.
+func (q *fairQueue) Release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *fairQueue) releaseLocked() {
+	for len(q.ring) > 0 {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		name := q.ring[q.next]
+		fifo := q.tenants[name]
+		for len(fifo.tickets) > 0 && fifo.tickets[0].abandoned {
+			fifo.tickets = fifo.tickets[1:]
+		}
+		if len(fifo.tickets) == 0 {
+			delete(q.tenants, name)
+			q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+			continue
+		}
+		t := fifo.tickets[0]
+		fifo.tickets = fifo.tickets[1:]
+		if len(fifo.tickets) == 0 {
+			delete(q.tenants, name)
+			q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		} else {
+			q.next++
+		}
+		t.granted = true
+		q.waiting--
+		close(t.ready)
+		return
+	}
+	q.slots++
+}
+
+// Waiting returns the number of queued tickets (the
+// rootd_solve_queue_depth gauge).
+func (q *fairQueue) Waiting() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueFIFOWithinTenant checks that one tenant's waiters are
+// served in arrival order.
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if err := q.Acquire(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := q.Acquire(context.Background(), "t"); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			q.Release()
+		}(i)
+		// Serialize arrival so FIFO order is observable.
+		waitFor(t, func() bool { return q.Waiting() == i+1 })
+	}
+	q.Release()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestQueueRoundRobinAcrossTenants enqueues 3 waiters each for two
+// tenants behind a held slot and checks slots alternate between the
+// tenants rather than draining one tenant first.
+func TestQueueRoundRobinAcrossTenants(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if err := q.Acquire(context.Background(), "warm"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string) {
+		wg.Add(1)
+		before := q.Waiting()
+		go func() {
+			defer wg.Done()
+			if err := q.Acquire(context.Background(), tenant); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			q.Release()
+		}()
+		waitFor(t, func() bool { return q.Waiting() == before+1 })
+	}
+	// Tenant a floods first; b arrives later with fewer requests.
+	enqueue("a")
+	enqueue("a")
+	enqueue("a")
+	enqueue("b")
+	enqueue("b")
+	q.Release()
+	wg.Wait()
+	// Round-robin: a b a b a (a is first in the ring, then alternation).
+	want := []string{"a", "b", "a", "b", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueCancelWhileWaiting checks a waiter can give up and that its
+// abandoned ticket does not consume a grant.
+func TestQueueCancelWhileWaiting(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if err := q.Acquire(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Acquire(ctx, "t") }()
+	waitFor(t, func() bool { return q.Waiting() == 1 })
+	cancel()
+	err := <-errc
+	re := AsRequestError(err)
+	if re.Code != CodeCanceled {
+		t.Fatalf("code = %q, want %q", re.Code, CodeCanceled)
+	}
+	if q.Waiting() != 0 {
+		t.Fatalf("waiting = %d after cancel, want 0", q.Waiting())
+	}
+	// The abandoned ticket must not swallow the next grant.
+	got := make(chan error, 1)
+	go func() { got <- q.Acquire(context.Background(), "u") }()
+	waitFor(t, func() bool { return q.Waiting() == 1 })
+	q.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("waiter after abandon: %v", err)
+	}
+	q.Release()
+}
+
+// TestQueueDeadlineWhileWaiting maps a deadline expiry to the
+// deadline code.
+func TestQueueDeadlineWhileWaiting(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if err := q.Acquire(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	defer q.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := q.Acquire(ctx, "t")
+	if re := AsRequestError(err); re.Code != CodeDeadline {
+		t.Fatalf("code = %q, want %q", re.Code, CodeDeadline)
+	}
+}
+
+// TestQueueFull checks the waiting bound fails fast with queue_full.
+func TestQueueFull(t *testing.T) {
+	q := newFairQueue(1, 1)
+	if err := q.Acquire(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	go q.Acquire(context.Background(), "t") // fills the one waiting slot
+	waitFor(t, func() bool { return q.Waiting() == 1 })
+	err := q.Acquire(context.Background(), "u")
+	if re := AsRequestError(err); re.Code != CodeQueueFull {
+		t.Fatalf("code = %q, want %q", re.Code, CodeQueueFull)
+	}
+	q.Release() // grants the waiter
+	waitFor(t, func() bool { return q.Waiting() == 0 })
+}

@@ -1,0 +1,592 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"realroots/internal/core"
+	"realroots/internal/metrics"
+	"realroots/internal/model"
+	"realroots/internal/mp"
+	"realroots/internal/sched"
+	"realroots/internal/telemetry"
+)
+
+// Config configures a solve server. The zero value is usable: every
+// field has a production default.
+type Config struct {
+	// MaxConcurrent is the number of solve slots — solves running at
+	// once (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds the waiting tickets across all tenants; beyond it
+	// requests fail fast with queue_full (default 256).
+	MaxQueue int
+	// WorkersPerSolve caps each solve's intra-solve scheduler workers;
+	// requests may ask for fewer (default 2).
+	WorkersPerSolve int
+	// MaxInflightBitOps is the admission budget: the sum of estimated
+	// bit operations over admitted, unfinished solves. A request whose
+	// estimate would push the sum past the budget is rejected with 429
+	// overloaded — unless nothing is in flight, so oversized requests
+	// are never starved forever. 0 defaults to 1e12.
+	MaxInflightBitOps int64
+	// SolveMaxBitOps is the per-solve bit-operation ceiling; a request's
+	// own maxBitOps may only tighten it. 0 means unlimited.
+	SolveMaxBitOps int64
+	// SolveTimeout bounds each solve's wall time; a request's timeoutMs
+	// may only tighten it (default 60s).
+	SolveTimeout time.Duration
+	// DefaultPrecision is µ when a request leaves precision unset
+	// (default 32).
+	DefaultPrecision uint
+	// DefaultProfile is the arithmetic profile when a request leaves
+	// profile unset (default the paper's schoolbook profile).
+	DefaultProfile mp.Profile
+	// RatePerSec and Burst configure the per-tenant token bucket;
+	// RatePerSec ≤ 0 disables rate limiting.
+	RatePerSec float64
+	Burst      float64
+	// CacheEntries is the LRU result-cache capacity (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// Telemetry is the hub serving /metrics, /debug/flight, and the
+	// solve log; nil creates a logger-less hub.
+	Telemetry *telemetry.Telemetry
+	// Logger receives request-level logs; nil disables them.
+	Logger *slog.Logger
+	// Now is the rate limiter's clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Faults, if non-nil, builds a per-solve scheduler task hook from
+	// the solve's process-wide sequence number, its context, and its
+	// cancel function — the fault-injection seam the stress suite
+	// drives with internal/faultinject plans. Hooks fire only on
+	// parallel solves (workers ≥ 2).
+	Faults func(seq uint64, ctx context.Context, cancel context.CancelFunc) func(int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.WorkersPerSolve <= 0 {
+		c.WorkersPerSolve = 2
+	}
+	if c.MaxInflightBitOps <= 0 {
+		c.MaxInflightBitOps = 1e12
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 60 * time.Second
+	}
+	if c.DefaultPrecision == 0 {
+		c.DefaultPrecision = 32
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.New(telemetry.Config{})
+	}
+	return c
+}
+
+// Server is the rootd solve service: an http.Handler running solves on
+// a shared pool behind admission control, per-tenant rate limits, fair
+// queuing, and a deduplicating result cache. Create with New, serve
+// its Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	queue   *fairQueue
+	limiter *rateLimiter
+	cache   *resultCache
+
+	baseCtx    context.Context // canceled to abort all in-flight solves
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	inflight sync.RWMutex // held shared by in-flight requests; Drain takes it exclusively
+
+	reserved atomic.Int64 // admitted estimated bit ops
+	active   atomic.Int64 // solves currently holding a slot
+	solveSeq atomic.Uint64
+
+	requests   map[string]*atomic.Int64 // by code; "ok" for successes
+	reqSeconds atomic.Int64             // float64 bits: total request wall seconds
+	cacheEvts  map[string]*atomic.Int64 // hit | join | miss | evict
+}
+
+// New creates a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		queue:     newFairQueue(cfg.MaxConcurrent, cfg.MaxQueue),
+		limiter:   newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now),
+		requests:  map[string]*atomic.Int64{"ok": new(atomic.Int64)},
+		cacheEvts: map[string]*atomic.Int64{},
+	}
+	for _, code := range errorCodes {
+		s.requests[code] = new(atomic.Int64)
+	}
+	for _, e := range cacheEventNames {
+		s.cacheEvts[e] = new(atomic.Int64)
+	}
+	s.cache = newResultCache(cfg.CacheEntries, func(event string) {
+		if c := s.cacheEvts[event]; c != nil {
+			c.Add(1)
+		}
+	})
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+var cacheEventNames = []string{"hit", "join", "miss", "evict"}
+
+// Telemetry returns the server's telemetry hub.
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.cfg.Telemetry }
+
+// Handler returns the server's HTTP handler:
+//
+//	POST /v1/solve   solve a polynomial or symmetric matrix
+//	GET  /healthz    liveness ("ok", or 503 while draining)
+//	GET  /metrics    Prometheus exposition (solver + rootd families)
+//	GET  /debug/...  flight recorder and pprof, via the telemetry hub
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/", s.cfg.Telemetry.Handler())
+	return mux
+}
+
+// Drain gracefully shuts the server down: new requests are rejected
+// with 503 draining, in-flight solves run to completion until ctx
+// ends, and whatever is still running at that point is canceled and
+// waited for. After Drain returns no request goroutines remain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	stop := context.AfterFunc(ctx, s.baseCancel)
+	defer stop()
+	// Taking the write lock waits for every in-flight request to
+	// release its read lock — either by finishing or by observing the
+	// base-context cancellation at ctx's deadline.
+	s.inflight.Lock()
+	s.inflight.Unlock()
+	s.baseCancel()
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.fail(w, start, "", &RequestError{Code: CodeBadRequest, Msg: "use POST"})
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, start, "", &RequestError{Code: CodeDraining, Msg: "server is draining"})
+		return
+	}
+	s.inflight.RLock()
+	defer s.inflight.RUnlock()
+	if s.draining.Load() { // re-check under the lock: Drain may have won the race
+		s.fail(w, start, "", &RequestError{Code: CodeDraining, Msg: "server is draining"})
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		s.fail(w, start, "", badRequest("reading body: %v", err))
+		return
+	}
+	req, err := DecodeSolveRequest(body)
+	if err != nil {
+		s.fail(w, start, "", err)
+		return
+	}
+	if ok, retry := s.limiter.Allow(req.Tenant); !ok {
+		s.failRetry(w, start, req.Tenant, &RequestError{
+			Code: CodeRateLimited,
+			Msg:  fmt.Sprintf("tenant %q is over its request rate", req.Tenant),
+		}, retry)
+		return
+	}
+
+	resp, err := s.Solve(r.Context(), req)
+	if err != nil {
+		s.fail(w, start, req.Tenant, err)
+		return
+	}
+	s.requests["ok"].Add(1)
+	s.addSeconds(time.Since(start).Seconds())
+	if l := s.cfg.Logger; l != nil {
+		l.LogAttrs(r.Context(), slog.LevelInfo, "request ok",
+			slog.String("tenant", req.Tenant),
+			slog.Int("degree", resp.Degree),
+			slog.Bool("cached", resp.Cached),
+			slog.Duration("elapsed", time.Since(start)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Solve runs one decoded request through admission, queuing, dedup,
+// and the solver, returning the response or a *RequestError. It is the
+// handler's core, exported for in-process clients (the harness
+// loadtest uses it when no network server is wanted).
+func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	mu := req.Precision
+	if mu == 0 {
+		mu = s.cfg.DefaultPrecision
+	}
+	profile := s.cfg.DefaultProfile
+	if req.Profile != "" {
+		profile, _ = mp.ParseProfile(req.Profile) // validated at decode
+	}
+	method := parseMethod(req.Method)
+	workers := req.Workers
+	if workers == 0 || workers > s.cfg.WorkersPerSolve {
+		workers = s.cfg.WorkersPerSolve
+	}
+	timeout := s.cfg.SolveTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	maxBits := s.cfg.SolveMaxBitOps
+	if req.MaxBitOps > 0 && (maxBits == 0 || req.MaxBitOps < maxBits) {
+		maxBits = req.MaxBitOps
+	}
+	estimate := model.EstimateBitOps(req.degree(), req.coeffBits(), mu)
+
+	key := req.cacheKey(mu, profile, method.String())
+	resp, cached, err := s.cache.Do(ctx, key, func() (*SolveResponse, error) {
+		return s.runSolve(ctx, req, solveParams{
+			mu: mu, profile: profile, method: method,
+			workers: workers, timeout: timeout, maxBits: maxBits,
+			estimate: estimate, tenant: req.Tenant,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		c := *resp // shallow copy: the cached response is shared read-only
+		c.Cached = true
+		resp = &c
+	}
+	return resp, nil
+}
+
+type solveParams struct {
+	mu       uint
+	profile  mp.Profile
+	method   methodT
+	workers  int
+	timeout  time.Duration
+	maxBits  int64
+	estimate int64
+	tenant   string
+}
+
+// runSolve is the flight leader's path: reserve the admission budget,
+// wait for a slot, and run the solver. Its context is the server's
+// base context, not the originating request's — once admitted a solve
+// runs to completion (the result is cached, so the work is kept even
+// if the first requester is gone), except under drain cancellation.
+func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solveParams) (*SolveResponse, error) {
+	if !s.reserve(p.estimate) {
+		return nil, &RequestError{
+			Code: CodeOverloaded,
+			Msg: fmt.Sprintf("estimated cost %d bit ops would oversubscribe the in-flight budget %d",
+				p.estimate, s.cfg.MaxInflightBitOps),
+		}
+	}
+	defer s.reserved.Add(-p.estimate)
+
+	// Queue waiting is bounded by the requester's context (a gone
+	// client should not hold a queue position) and by the server
+	// lifetime.
+	waitCtx, waitCancel := context.WithCancel(reqCtx)
+	defer waitCancel()
+	stopWait := context.AfterFunc(s.baseCtx, waitCancel)
+	defer stopWait()
+	if err := s.queue.Acquire(waitCtx, p.tenant); err != nil {
+		if s.baseCtx.Err() != nil {
+			return nil, &RequestError{Code: CodeDraining, Msg: "server is draining"}
+		}
+		return nil, err
+	}
+	defer s.queue.Release()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	solveCtx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
+	defer cancel()
+
+	opts := core.Options{
+		Mu:        p.mu,
+		Workers:   p.workers,
+		Method:    p.method,
+		Profile:   p.profile,
+		Ctx:       solveCtx,
+		MaxBitOps: p.maxBits,
+		Telemetry: s.cfg.Telemetry,
+	}
+	var counters metrics.Counters
+	opts.Counters = &counters
+	if s.cfg.Faults != nil {
+		opts.TaskHook = s.cfg.Faults(s.solveSeq.Add(1), solveCtx, cancel)
+	}
+
+	poly, err := req.buildPoly(p.profile)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	roots, err := core.FindRootsWithMultiplicity(poly, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, mapSolveError(err)
+	}
+
+	digits := decimalDigits(p.mu)
+	out := make([]RootJSON, len(roots))
+	distinct := 0
+	for i, rm := range roots {
+		out[i] = RootJSON{
+			Value:        rm.Root.Rat().RatString(),
+			Decimal:      rm.Root.Decimal(digits),
+			Multiplicity: rm.Mult,
+		}
+		distinct++
+	}
+	rep := counters.Snapshot()
+	return &SolveResponse{
+		Roots:           out,
+		Degree:          req.degree(),
+		Distinct:        distinct,
+		Precision:       p.mu,
+		Profile:         p.profile.String(),
+		Method:          p.method.String(),
+		ElapsedSeconds:  elapsed.Seconds(),
+		BitOps:          counters.BitOps(),
+		EstimatedBitOps: p.estimate,
+		Metrics:         &rep,
+	}, nil
+}
+
+// decimalDigits is the response's decimal rendering width for
+// precision µ: ⌈µ·log₁₀2⌉ plus one guard digit.
+func decimalDigits(mu uint) int {
+	return int(math.Ceil(float64(mu)*math.Log10(2))) + 1
+}
+
+// reserve charges est against the in-flight admission budget. A
+// request is admitted if the budget holds it — or if nothing else is
+// reserved, so a single request costlier than the whole budget can
+// still run alone rather than being rejected forever.
+func (s *Server) reserve(est int64) bool {
+	for {
+		cur := s.reserved.Load()
+		if cur > 0 && cur+est > s.cfg.MaxInflightBitOps {
+			return false
+		}
+		if s.reserved.CompareAndSwap(cur, cur+est) {
+			return true
+		}
+	}
+}
+
+// mapSolveError converts the solver's typed errors to request errors.
+func mapSolveError(err error) error {
+	var pe *sched.PanicError
+	switch {
+	case errors.Is(err, core.ErrNotAllReal):
+		return &RequestError{Code: CodeNotAllReal, Msg: err.Error()}
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return &RequestError{Code: CodeBudget, Msg: err.Error()}
+	case errors.Is(err, core.ErrDeadline):
+		return &RequestError{Code: CodeDeadline, Msg: err.Error()}
+	case errors.Is(err, core.ErrCanceled):
+		return &RequestError{Code: CodeCanceled, Msg: err.Error()}
+	case errors.As(err, &pe):
+		return &RequestError{Code: CodeInternal, Msg: err.Error()}
+	case errors.Is(err, core.ErrInvalidOptions):
+		return &RequestError{Code: CodeBadRequest, Msg: err.Error()}
+	default:
+		return &RequestError{Code: CodeInternal, Msg: err.Error()}
+	}
+}
+
+// statusFor maps an error code to its HTTP status.
+func statusFor(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotSymmetric, CodeNotAllReal, CodeBudget:
+		return http.StatusUnprocessableEntity
+	case CodeRateLimited, CodeOverloaded, CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDraining, CodeCanceled:
+		return http.StatusServiceUnavailable
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, start time.Time, tenant string, err error) {
+	re := AsRequestError(err)
+	retry := time.Duration(0)
+	if code := statusFor(re.Code); code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		retry = time.Second
+	}
+	s.failRetry(w, start, tenant, re, retry)
+}
+
+func (s *Server) failRetry(w http.ResponseWriter, start time.Time, tenant string, re *RequestError, retry time.Duration) {
+	if c := s.requests[re.Code]; c != nil {
+		c.Add(1)
+	}
+	s.addSeconds(time.Since(start).Seconds())
+	if l := s.cfg.Logger; l != nil {
+		l.LogAttrs(context.Background(), slog.LevelWarn, "request failed",
+			slog.String("tenant", tenant),
+			slog.String("code", re.Code),
+			slog.String("error", re.Msg))
+	}
+	status := statusFor(re.Code)
+	var retrySec int64
+	if retry > 0 {
+		retrySec = int64(math.Ceil(retry.Seconds()))
+		w.Header().Set("Retry-After", strconv.FormatInt(retrySec, 10))
+	}
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:              re.Code,
+		Message:           re.Msg,
+		RetryAfterSeconds: retrySec,
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) addSeconds(sec float64) {
+	for {
+		old := s.reqSeconds.Load()
+		new_ := math.Float64bits(math.Float64frombits(uint64(old)) + sec)
+		if s.reqSeconds.CompareAndSwap(old, int64(new_)) {
+			return
+		}
+	}
+}
+
+// handleMetrics writes the telemetry registry's exposition followed by
+// the server's own rootd_* families. Family label sets are fixed and
+// always emitted so scrapes are stable from the first request.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Telemetry.Registry().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeOwnMetrics(w)
+}
+
+func (s *Server) writeOwnMetrics(w io.Writer) {
+	fmt.Fprintln(w, "# HELP rootd_requests_total Solve requests by outcome code.")
+	fmt.Fprintln(w, "# TYPE rootd_requests_total counter")
+	fmt.Fprintf(w, "rootd_requests_total{code=\"ok\"} %d\n", s.requests["ok"].Load())
+	for _, code := range errorCodes {
+		fmt.Fprintf(w, "rootd_requests_total{code=%q} %d\n", code, s.requests[code].Load())
+	}
+	fmt.Fprintln(w, "# HELP rootd_request_seconds_total Total request wall time in seconds.")
+	fmt.Fprintln(w, "# TYPE rootd_request_seconds_total counter")
+	fmt.Fprintf(w, "rootd_request_seconds_total %g\n", math.Float64frombits(uint64(s.reqSeconds.Load())))
+	fmt.Fprintln(w, "# HELP rootd_cache_events_total Result-cache events.")
+	fmt.Fprintln(w, "# TYPE rootd_cache_events_total counter")
+	for _, e := range cacheEventNames {
+		fmt.Fprintf(w, "rootd_cache_events_total{event=%q} %d\n", e, s.cacheEvts[e].Load())
+	}
+	fmt.Fprintln(w, "# HELP rootd_solve_queue_depth Requests waiting for a solve slot.")
+	fmt.Fprintln(w, "# TYPE rootd_solve_queue_depth gauge")
+	fmt.Fprintf(w, "rootd_solve_queue_depth %d\n", s.queue.Waiting())
+	fmt.Fprintln(w, "# HELP rootd_active_solves Solves currently holding a slot.")
+	fmt.Fprintln(w, "# TYPE rootd_active_solves gauge")
+	fmt.Fprintf(w, "rootd_active_solves %d\n", s.active.Load())
+	fmt.Fprintln(w, "# HELP rootd_reserved_bitops Estimated bit operations of admitted unfinished solves.")
+	fmt.Fprintln(w, "# TYPE rootd_reserved_bitops gauge")
+	fmt.Fprintf(w, "rootd_reserved_bitops %d\n", s.reserved.Load())
+	fmt.Fprintln(w, "# HELP rootd_draining Whether the server is draining (1) or serving (0).")
+	fmt.Fprintln(w, "# TYPE rootd_draining gauge")
+	drain := 0
+	if s.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "rootd_draining %d\n", drain)
+}
+
+// Running is a live rootd listener started by ListenAndServe.
+type Running struct {
+	srv *Server
+	ln  net.Listener
+	hs  *http.Server
+}
+
+// ListenAndServe starts the server on addr (host:port; port 0 picks an
+// ephemeral port) and serves in a background goroutine until Close.
+func (s *Server) ListenAndServe(addr string) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return &Running{srv: s, ln: ln, hs: hs}, nil
+}
+
+// Addr returns the listener's address (e.g. "127.0.0.1:8361").
+func (r *Running) Addr() string { return r.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (r *Running) URL() string { return "http://" + r.Addr() }
+
+// Close drains the solve pool under ctx and shuts the listener down.
+func (r *Running) Close(ctx context.Context) error {
+	drainErr := r.srv.Drain(ctx)
+	if err := r.hs.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

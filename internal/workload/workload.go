@@ -21,6 +21,25 @@ func CharPoly01(seed int64, n int) *poly.Poly {
 	return charpoly.CharPoly(charpoly.RandomSymmetric01(r, n))
 }
 
+// SymmetricRows01 returns the rows of the random symmetric n×n 0-1
+// matrix that CharPoly01 takes the characteristic polynomial of: the
+// same seed yields the same matrix, so a matrix solve request built
+// from these rows is the charpoly-input twin of the CharPoly01
+// polynomial request. The solve-server load generator uses this to mix
+// matrix and polynomial forms of one instance in a workload.
+func SymmetricRows01(seed int64, n int) [][]int64 {
+	r := rand.New(rand.NewSource(seed))
+	m := charpoly.RandomSymmetric01(r, n)
+	rows := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			rows[i][j] = m.At(i, j).Int64()
+		}
+	}
+	return rows
+}
+
 // CharPolyBounded returns the characteristic polynomial of a random
 // symmetric matrix with entries in [-bound, bound], giving larger
 // coefficient sizes m(n) than the 0-1 case.

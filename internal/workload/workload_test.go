@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"realroots/internal/charpoly"
 	"realroots/internal/core"
 	"realroots/internal/mp"
 	"realroots/internal/poly"
@@ -215,5 +216,42 @@ func TestTridiagonalSolvable(t *testing.T) {
 	}
 	if !p.Equal(Tridiagonal(3, 25, 4)) {
 		t.Fatal("not deterministic")
+	}
+}
+
+func TestSymmetricRows01Twin(t *testing.T) {
+	// The rows must be the exact matrix CharPoly01 characterizes: a
+	// solve server receiving the matrix form computes the same
+	// polynomial as a client sending the CharPoly01 form directly.
+	for _, n := range []int{2, 5, 9} {
+		rows := SymmetricRows01(42, n)
+		if len(rows) != n {
+			t.Fatalf("n=%d: %d rows", n, len(rows))
+		}
+		for i := range rows {
+			if len(rows[i]) != n {
+				t.Fatalf("n=%d: row %d has %d entries", n, i, len(rows[i]))
+			}
+			for j := range rows[i] {
+				if rows[i][j] != rows[j][i] {
+					t.Fatalf("n=%d: not symmetric at (%d,%d)", n, i, j)
+				}
+				if rows[i][j] != 0 && rows[i][j] != 1 {
+					t.Fatalf("n=%d: entry (%d,%d) = %d, want 0 or 1", n, i, j, rows[i][j])
+				}
+			}
+		}
+		m, err := charpoly.FromRows(rows)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := charpoly.CharPoly(m)
+		want := CharPoly01(42, n)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: charpoly of SymmetricRows01 differs from CharPoly01", n)
+		}
+	}
+	if CharPoly01(43, 9).Equal(CharPoly01(42, 9)) {
+		t.Fatal("different seeds gave identical matrices")
 	}
 }

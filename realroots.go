@@ -35,6 +35,7 @@ import (
 	"realroots/internal/dyadic"
 	"realroots/internal/interval"
 	"realroots/internal/metrics"
+	"realroots/internal/model"
 	"realroots/internal/mp"
 	"realroots/internal/poly"
 	"realroots/internal/remseq"
@@ -57,6 +58,34 @@ const (
 	Newton
 )
 
+// String returns the method name accepted by ParseMethod.
+func (m Method) String() string {
+	switch m {
+	case Hybrid:
+		return "hybrid"
+	case Bisection:
+		return "bisection"
+	case Newton:
+		return "newton"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// ParseMethod maps a method name ("hybrid", "bisection", or "newton")
+// to its value — the inverse of Method.String, for flag and request
+// parsing (cmd/rootd accepts these names in solve requests).
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "hybrid":
+		return Hybrid, nil
+	case "bisection":
+		return Bisection, nil
+	case "newton":
+		return Newton, nil
+	}
+	return 0, fmt.Errorf("realroots: unknown method %q (want hybrid, bisection, or newton)", s)
+}
+
 // Profile selects the big-integer arithmetic algorithms used by a run.
 // Every profile computes bit-identical roots (the arithmetic is exact
 // either way) and records identical operation counts and model bit
@@ -74,6 +103,38 @@ const (
 	// Karatsuba multiplication and Burnikel–Ziegler division.
 	ProfileFast
 )
+
+// String returns the profile name accepted by ParseProfile.
+func (p Profile) String() string {
+	if p == ProfileFast {
+		return "fast"
+	}
+	return "paper"
+}
+
+// ParseProfile maps a profile name ("paper"/"schoolbook" or "fast") to
+// its value — the inverse of Profile.String, for flag and request
+// parsing (cmd/rootd accepts these names in solve requests).
+func ParseProfile(s string) (Profile, error) {
+	pr, err := mp.ParseProfile(s)
+	if err != nil {
+		return 0, fmt.Errorf("realroots: unknown profile %q (want paper, schoolbook, or fast)", s)
+	}
+	return Profile(pr), nil
+}
+
+// EstimateBitOps predicts the bit-operation cost (the Options.MaxBitOps
+// measure: Σ bitlen·bitlen over big-integer multiplications and
+// divisions under the paper's schoolbook model) of solving a degree-n
+// polynomial with coeffBits-bit coefficients at precision mu. It is an
+// a-priori upper-end estimate derived from the paper's §4 cost
+// analysis; cmd/rootd uses it as the admission-control cost of a solve
+// request before running anything. Callers can use it to size
+// Options.MaxBitOps budgets or predict whether a request will be
+// admitted by a loaded server.
+func EstimateBitOps(degree, coeffBits int, mu uint) int64 {
+	return model.EstimateBitOps(degree, coeffBits, mu)
+}
 
 // Options configures a root-finding run. The zero value (and a nil
 // *Options) requests 32 bits of precision on a single worker with the
