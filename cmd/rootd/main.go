@@ -4,14 +4,23 @@
 // exact rationals plus decimal renderings. Solves run on a shared pool
 // with bounded per-solve parallelism behind cost-model admission
 // control, per-tenant rate limits, fair queuing, and a deduplicating
-// LRU result cache; /metrics, /debug/flight, and /debug/pprof expose
-// the telemetry hub. SIGINT/SIGTERM drain gracefully: in-flight solves
-// finish under -drain-timeout, then the process exits.
+// LRU result cache; /metrics, /debug/flight, /debug/requests, and
+// /debug/pprof expose the telemetry hub. SIGINT/SIGTERM drain
+// gracefully: in-flight solves finish under -drain-timeout, then the
+// process exits.
+//
+// Every request carries an end-to-end ID: the client's X-Request-Id
+// header (or a generated one), echoed in the response header and body
+// and stamped on every observability sink the solve touches — the
+// structured solve log, flight-recorder events, latency-histogram
+// exemplars on /metrics, the /debug/requests inspector, and trace
+// spans. One ID recovers a request from any of them.
 //
 // Example:
 //
 //	rootd -addr 127.0.0.1:8361 &
 //	curl -s http://127.0.0.1:8361/v1/solve \
+//	  -H 'X-Request-Id: demo-1' \
 //	  -d '{"poly":{"coeffs":["-2","0","1"]},"precision":64}'
 package main
 

@@ -2,7 +2,8 @@
 // by rootbench parse against their schemas: Chrome trace-event JSON
 // (rootbench -trace), flight-recorder dumps (rootbench -flight-out or
 // GET /debug/flight), Prometheus text expositions (rootbench
-// -metrics-out or GET /metrics), and bench-grid JSON (rootbench -json).
+// -metrics-out or GET /metrics), request-inspector dumps (GET
+// /debug/requests?format=json), and bench-grid JSON (rootbench -json).
 // The file kind is sniffed from the content, so CI can pass all of them
 // in one call.
 //
@@ -51,6 +52,9 @@ func validateFile(path string) (kind string, err error) {
 		return "chrome-trace", trace.ValidateChrome(data)
 	case bytes.Contains(data, []byte(telemetry.FlightSchema)):
 		return "flight-dump", telemetry.ValidateDumpJSON(data)
+	case bytes.Contains(data, []byte(telemetry.RequestsSchema)):
+		_, err := telemetry.ValidateRequestsJSON(data)
+		return "requests-dump", err
 	case bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("# HELP")):
 		return "prometheus-exposition", telemetry.ValidateExposition(data)
 	default:

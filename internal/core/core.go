@@ -101,6 +101,12 @@ type Options struct {
 	// begins ("precompute", "tree", "interval") — a test hook for
 	// exercising cancellation at exact phase boundaries.
 	OnPhase func(phase string)
+	// RequestID, if non-empty, names the external request this run
+	// serves (rootd's X-Request-Id). It is stamped on every telemetry
+	// sink the run touches — slog records, flight-recorder events,
+	// trace spans, and scheduler panic errors — so one ID recovers the
+	// run from any of them.
+	RequestID string
 }
 
 // Stats reports timing and scheduling details of a run.
@@ -236,7 +242,14 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	run := opts.Telemetry.RunStart("core", p.Degree(), opts.Mu, workers)
+	opts.Tracer.SetRequestID(opts.RequestID)
+	run := opts.Telemetry.Start(telemetry.RunInfo{
+		Kind:      "core",
+		Degree:    p.Degree(),
+		Mu:        opts.Mu,
+		Workers:   workers,
+		RequestID: opts.RequestID,
+	})
 	counters := opts.Counters
 	if counters == nil && (opts.MaxBitOps > 0 || run != nil) {
 		counters = &metrics.Counters{} // budget metering and telemetry need a sink
@@ -309,6 +322,9 @@ func findRootsPipeline(p *poly.Poly, opts Options, counters *metrics.Counters, r
 			pool.SetTaskHook(opts.TaskHook)
 		}
 		pool.SetTracer(opts.Tracer)
+		if opts.RequestID != "" {
+			pool.SetLabel(opts.RequestID)
+		}
 		if run != nil {
 			pool.SetObserver(run)
 		}

@@ -8,13 +8,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
 
 	"realroots/internal/server"
+	"realroots/internal/telemetry"
 	"realroots/internal/workload"
 )
 
@@ -91,6 +91,8 @@ func Loadtest(w io.Writer, cfg Config) error {
 		cell   int
 		body   string
 		tenant string
+		id     string // X-Request-Id: deterministic, exemplar-traceable
+		poly   bool   // polynomial form (vs the matrix charpoly twin)
 	}
 	seed := cfg.Seeds[0]
 	var reqs []request
@@ -98,12 +100,14 @@ func Loadtest(w io.Writer, cfg Config) error {
 		for r := 0; r < perCell; r++ {
 			tenant := fmt.Sprintf("tenant%d", (ci*perCell+r)%tenants)
 			var payload string
+			isPoly := true
 			if r%2 == 1 && c.n <= server.MaxMatrixDim {
 				rows, err := json.Marshal(workload.SymmetricRows01(seed, c.n))
 				if err != nil {
 					return err
 				}
 				payload = fmt.Sprintf(`"matrix":{"rows":%s}`, rows)
+				isPoly = false
 			} else {
 				p := Instance(seed, c.n)
 				coeffs := make([]string, p.Degree()+1)
@@ -114,7 +118,11 @@ func Loadtest(w io.Writer, cfg Config) error {
 			}
 			body := fmt.Sprintf(`{"tenant":%q,%s,"precision":%d,"workers":%d}`,
 				tenant, payload, c.mu, c.procs)
-			reqs = append(reqs, request{cell: ci, body: body, tenant: tenant})
+			reqs = append(reqs, request{
+				cell: ci, body: body, tenant: tenant,
+				id:   fmt.Sprintf("load-s%d-c%d-r%d", seed, ci, r),
+				poly: isPoly,
+			})
 		}
 	}
 	rand.New(rand.NewSource(seed)).Shuffle(len(reqs), func(i, j int) {
@@ -126,6 +134,7 @@ func Loadtest(w io.Writer, cfg Config) error {
 		latency time.Duration
 		resp    *server.SolveResponse
 		errCode string
+		poly    bool
 	}
 	samples := make([]sample, len(reqs))
 	work := make(chan int)
@@ -138,11 +147,18 @@ func Loadtest(w io.Writer, cfg Config) error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				start := time.Now()
-				resp, err := client.Post(baseURL+"/v1/solve", "application/json",
+				hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/solve",
 					strings.NewReader(reqs[i].body))
+				if err != nil {
+					samples[i] = sample{cell: reqs[i].cell, errCode: "transport", poly: reqs[i].poly}
+					continue
+				}
+				hreq.Header.Set("Content-Type", "application/json")
+				hreq.Header.Set("X-Request-Id", reqs[i].id)
+				start := time.Now()
+				resp, err := client.Do(hreq)
 				latency := time.Since(start)
-				s := sample{cell: reqs[i].cell, latency: latency}
+				s := sample{cell: reqs[i].cell, latency: latency, poly: reqs[i].poly}
 				if err != nil {
 					s.errCode = "transport"
 				} else {
@@ -183,11 +199,17 @@ func Loadtest(w io.Writer, cfg Config) error {
 	wg.Wait()
 	sweepWall := time.Since(sweepStart)
 
-	// Fold samples into cells.
+	// Fold samples into cells. Per-cell latency distributions use the
+	// same fixed-bucket histogram the server exposes on /metrics, so
+	// the loadtest's p50/p99 are histogram-derived quantiles — directly
+	// comparable with a histogram_quantile over rootd_request_seconds.
 	type cellStats struct {
-		latencies []time.Duration
-		errors    int
-		resp      *server.SolveResponse
+		hist     *telemetry.Histogram
+		seconds  float64
+		requests int
+		errors   int
+		resp     *server.SolveResponse
+		respPoly bool
 	}
 	stats := make([]cellStats, len(cells))
 	totalReqs, totalErrs, uniqueSolves, sharedResults := 0, 0, 0, 0
@@ -197,7 +219,12 @@ func Loadtest(w io.Writer, cfg Config) error {
 		}
 		totalReqs++
 		cs := &stats[s.cell]
-		cs.latencies = append(cs.latencies, s.latency)
+		if cs.hist == nil {
+			cs.hist = telemetry.NewHistogram(telemetry.SecondsBuckets)
+		}
+		cs.hist.Observe(s.latency.Seconds(), "")
+		cs.seconds += s.latency.Seconds()
+		cs.requests++
 		if s.resp == nil {
 			cs.errors++
 			totalErrs++
@@ -208,8 +235,12 @@ func Loadtest(w io.Writer, cfg Config) error {
 		} else {
 			uniqueSolves++
 		}
-		if cs.resp == nil {
-			cs.resp = s.resp
+		// Prefer the polynomial-form response for the cell's bench-grid
+		// numbers: its BitOps match a RunGrid cell of the same
+		// (degree, µ, seed, profile), so -compare gates against solver
+		// benchmarks; the matrix twin solves a different polynomial.
+		if cs.resp == nil || (!cs.respPoly && s.poly) {
+			cs.resp, cs.respPoly = s.resp, s.poly
 		}
 	}
 
@@ -225,20 +256,15 @@ func Loadtest(w io.Writer, cfg Config) error {
 	}
 	for ci, c := range cells {
 		cs := &stats[ci]
-		if len(cs.latencies) == 0 {
+		if cs.requests == 0 {
 			continue
 		}
-		sort.Slice(cs.latencies, func(i, j int) bool { return cs.latencies[i] < cs.latencies[j] })
-		p50 := percentile(cs.latencies, 50)
-		p99 := percentile(cs.latencies, 99)
-		var cellSeconds float64
-		for _, l := range cs.latencies {
-			cellSeconds += l.Seconds()
-		}
-		rps := float64(len(cs.latencies)) / cellSeconds
+		p50 := cs.hist.Quantile(0.50)
+		p99 := cs.hist.Quantile(0.99)
+		rps := float64(cs.requests) / cs.seconds
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%.1f\n",
-			c.n, c.mu, c.procs, len(cs.latencies), cs.errors,
-			float64(p50)/float64(time.Millisecond), float64(p99)/float64(time.Millisecond), rps)
+			c.n, c.mu, c.procs, cs.requests, cs.errors,
+			p50*1e3, p99*1e3, rps)
 		if cs.resp != nil {
 			cell := GridCell{
 				Degree:        c.n,
@@ -246,10 +272,10 @@ func Loadtest(w io.Writer, cfg Config) error {
 				Procs:         c.procs,
 				Seed:          seed,
 				Profile:       profName,
-				WallSeconds:   p50.Seconds(),
+				WallSeconds:   p50,
 				BitOps:        cs.resp.BitOps,
-				P50Seconds:    p50.Seconds(),
-				P99Seconds:    p99.Seconds(),
+				P50Seconds:    p50,
+				P99Seconds:    p99,
 				ThroughputRPS: rps,
 			}
 			if cs.resp.Metrics != nil {
@@ -287,33 +313,29 @@ func Loadtest(w io.Writer, cfg Config) error {
 	return nil
 }
 
-// percentile returns the pth percentile (nearest-rank) of sorted
-// latencies.
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 · n), 1-based
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
-}
-
 // ScrubExposition reduces a /metrics exposition to its stable
 // structure for golden comparison under concurrent load: HELP/TYPE
 // lines are kept verbatim, every sample value is replaced with '#',
-// and sample lines of the phase- and operand-keyed families are
-// dropped entirely (the registry omits zero-valued phase samples, so
-// which lines appear depends on scheduling).
+// and sample lines of families whose series set depends on scheduling
+// are dropped entirely — the phase- and operand-keyed solver families
+// (the registry omits zero-valued phase samples) and the rootd latency
+// histograms (series appear per tenant/method as requests complete,
+// and exemplar request IDs are whichever request last landed in a
+// bucket).
 func ScrubExposition(expo []byte) string {
 	unstable := []string{
 		"realroots_phase_ops_total{",
 		"realroots_phase_bits_total{",
 		"realroots_operand_bits_ops_total{",
+		"rootd_request_seconds_bucket{",
+		"rootd_request_seconds_sum{",
+		"rootd_request_seconds_count{",
+		"rootd_queue_wait_seconds_bucket{",
+		"rootd_queue_wait_seconds_sum{",
+		"rootd_queue_wait_seconds_count{",
+		"rootd_solve_seconds_bucket{",
+		"rootd_solve_seconds_sum{",
+		"rootd_solve_seconds_count{",
 	}
 	var out bytes.Buffer
 	for _, line := range strings.Split(string(expo), "\n") {
@@ -333,6 +355,9 @@ func ScrubExposition(expo []byte) string {
 		}
 		if skip {
 			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i] // drop a trailing exemplar before value scrubbing
 		}
 		if i := strings.LastIndexByte(line, ' '); i >= 0 {
 			line = line[:i] + " #"

@@ -338,6 +338,24 @@ func (r Report) Total() PhaseReport {
 	return t
 }
 
+// PeakBits returns a lower bound on the largest operand bit-length the
+// run touched: the lower edge of the highest occupied bit-length
+// bucket, across all phases. Coefficient growth through the splitting
+// tree is the algorithm's cost driver (§4), so this is the "how big did
+// the numbers actually get" health number. Returns 0 when no
+// multiplications or divisions were recorded.
+func (r Report) PeakBits() int {
+	for b := BitLenBuckets - 1; b >= 0; b-- {
+		for p := Phase(0); p < NumPhases; p++ {
+			if r.Phases[p].BitLen[b] != 0 {
+				lo, _ := BucketRange(b)
+				return lo
+			}
+		}
+	}
+	return 0
+}
+
 // Sum returns the combined counters of the given phases.
 func (r Report) Sum(phases ...Phase) PhaseReport {
 	var t PhaseReport

@@ -38,9 +38,13 @@ var ErrPoolCanceled = errors.New("sched: pool canceled")
 type PanicError struct {
 	Value any    // the recovered panic value
 	Stack []byte // stack captured at recovery
+	Label string // pool label at recovery (see SetLabel), "" if unset
 }
 
 func (e *PanicError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("sched: task panicked (label %s): %v", e.Label, e.Value)
+	}
 	return fmt.Sprintf("sched: task panicked: %v", e.Value)
 }
 
@@ -54,6 +58,7 @@ type Pool struct {
 	taskHook func(seq int64) // fault-injection / tracing hook (see SetTaskHook)
 	tracer   *trace.Tracer   // nil = tracing disabled (see SetTracer)
 	observer Observer        // nil = no lifecycle callbacks (see SetObserver)
+	label    string          // attribution tag for failures (see SetLabel)
 	maxQueue int             // high-water mark of len(queue), under mu
 
 	outstanding atomic.Int64 // queued + running tasks
@@ -152,6 +157,23 @@ func (p *Pool) SetTracer(tr *trace.Tracer) {
 	p.mu.Lock()
 	p.tracer = tr
 	p.mu.Unlock()
+}
+
+// SetLabel tags the pool with the identity of the work it is running
+// (rootd sets the owning request ID). The label travels on PanicError,
+// so a panic surfacing minutes later in a log still names the request
+// that triggered it.
+func (p *Pool) SetLabel(label string) {
+	p.mu.Lock()
+	p.label = label
+	p.mu.Unlock()
+}
+
+// getLabel reads the label for panic attribution.
+func (p *Pool) getLabel() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.label
 }
 
 // An Observer receives task-lifecycle callbacks from the pool: span
@@ -330,7 +352,7 @@ func (p *Pool) runTask(id int, task queued, hook func(int64), obs Observer) {
 			if obs != nil {
 				obs.TaskPanic(id, task.tag, r)
 			}
-			p.fail(&PanicError{Value: r, Stack: debug.Stack()})
+			p.fail(&PanicError{Value: r, Stack: debug.Stack(), Label: p.getLabel()})
 		}
 	}()
 	if hook != nil {
@@ -459,7 +481,7 @@ func (p *Pool) ParallelForTagged(tag string, n, grain int, f func(i int)) error 
 					if obs := p.getObserver(); obs != nil {
 						obs.TaskPanic(-1, tag, r)
 					}
-					p.fail(&PanicError{Value: r, Stack: debug.Stack()})
+					p.fail(&PanicError{Value: r, Stack: debug.Stack(), Label: p.getLabel()})
 				}
 				if remaining.Add(-1) == 0 {
 					close(done)

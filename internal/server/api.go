@@ -64,9 +64,30 @@ const (
 	MaxWorkers = 64
 	// MaxTenantLen bounds the tenant identifier.
 	MaxTenantLen = 64
+	// MaxRequestIDLen bounds a client-supplied X-Request-Id.
+	MaxRequestIDLen = 128
 	// MaxTimeoutMS bounds the per-request solve timeout (1 hour).
 	MaxTimeoutMS = 3_600_000
 )
+
+// ValidateRequestID checks a client-supplied X-Request-Id: at most
+// MaxRequestIDLen bytes of [A-Za-z0-9._-] (the tenant charset), so IDs
+// pass verbatim into log records, exposition exemplars, and trace args
+// without escaping surprises.
+func ValidateRequestID(id string) error {
+	if len(id) > MaxRequestIDLen {
+		return badRequest("X-Request-Id is %d bytes (limit %d)", len(id), MaxRequestIDLen)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return badRequest("X-Request-Id contains %q (want [A-Za-z0-9._-])", c)
+		}
+	}
+	return nil
+}
 
 // Error codes carried in ErrorResponse and used as the code label of
 // the rootd_requests_total metric family.
@@ -135,6 +156,13 @@ type SolveRequest struct {
 	// per-solve ceiling. The tighter of the two applies.
 	MaxBitOps int64 `json:"maxBitOps,omitempty"`
 
+	// RequestID is the request's end-to-end observability ID, taken
+	// from the X-Request-Id header (or generated) by the HTTP handler —
+	// never from the JSON body, so it is excluded from decoding and
+	// from the result-cache key. In-process callers of Solve may set it
+	// directly.
+	RequestID string `json:"-"`
+
 	// Decoded payload, filled by DecodeSolveRequest.
 	coeffs []*big.Int
 	rows   [][]int64
@@ -182,6 +210,12 @@ type SolveResponse struct {
 	// Cached reports that the result was served from the result cache
 	// or deduplicated onto another in-flight identical request.
 	Cached bool `json:"cached"`
+	// RequestID echoes the request's X-Request-Id (the header is set
+	// too). On cached/deduplicated responses this is the asking
+	// request's ID, not the ID of the request whose solve produced the
+	// result — solver-side telemetry (flight events, trace spans)
+	// carries the original leader's ID.
+	RequestID string `json:"requestId,omitempty"`
 	// Metrics is the solve's per-phase arithmetic report; loadtest
 	// clients fold it into bench-grid/v1 cells.
 	Metrics *metrics.Report `json:"metrics,omitempty"`

@@ -50,31 +50,33 @@ func newResultCache(capacity int, onEvent func(string)) *resultCache {
 }
 
 // Do returns the cached response for key, joins an in-flight identical
-// solve, or runs fn as the flight leader. cached reports whether the
-// response came from the cache or another flight (i.e. fn was not run
-// by this call). A joiner whose ctx ends before the leader finishes
-// gets a canceled/deadline RequestError; the leader itself ignores ctx
-// (its fn manages its own context).
-func (c *resultCache) Do(ctx context.Context, key string, fn func() (*SolveResponse, error)) (resp *SolveResponse, cached bool, err error) {
+// solve, or runs fn as the flight leader. outcome reports how the call
+// was resolved — "hit" (served from the LRU), "join" (shared another
+// flight's result), or "miss" (fn ran as the leader); the response came
+// from another request's solve exactly when outcome != "miss". A joiner
+// whose ctx ends before the leader finishes gets a canceled/deadline
+// RequestError; the leader itself ignores ctx (its fn manages its own
+// context).
+func (c *resultCache) Do(ctx context.Context, key string, fn func() (*SolveResponse, error)) (resp *SolveResponse, outcome string, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		resp := el.Value.(*cacheEntry).resp
 		c.mu.Unlock()
 		c.onEvent("hit")
-		return resp, true, nil
+		return resp, "hit", nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.onEvent("join")
 		select {
 		case <-fl.done:
-			return fl.resp, true, fl.err
+			return fl.resp, "join", fl.err
 		case <-ctx.Done():
 			if ctx.Err() == context.DeadlineExceeded {
-				return nil, false, &RequestError{Code: CodeDeadline, Msg: "timed out waiting for an identical in-flight solve"}
+				return nil, "join", &RequestError{Code: CodeDeadline, Msg: "timed out waiting for an identical in-flight solve"}
 			}
-			return nil, false, &RequestError{Code: CodeCanceled, Msg: "canceled while waiting for an identical in-flight solve"}
+			return nil, "join", &RequestError{Code: CodeCanceled, Msg: "canceled while waiting for an identical in-flight solve"}
 		}
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -103,7 +105,7 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() (*SolveRespo
 		c.mu.Unlock()
 	}
 	close(fl.done)
-	return fl.resp, false, fl.err
+	return fl.resp, "miss", fl.err
 }
 
 // Len returns the number of cached entries.

@@ -25,7 +25,7 @@ func TestCacheDedupInFlight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		resp, cached, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
+		resp, outcome, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
 			close(started)
 			calls.Add(1)
 			<-gate
@@ -34,21 +34,21 @@ func TestCacheDedupInFlight(t *testing.T) {
 		if err != nil {
 			t.Error(err)
 		}
-		results[0], cachedFlags[0] = resp, cached
+		results[0], cachedFlags[0] = resp, outcome != "miss"
 	}()
 	<-started
 	for i := 1; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, cached, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
+			resp, outcome, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
 				calls.Add(1)
 				return &SolveResponse{Degree: -1}, nil
 			})
 			if err != nil {
 				t.Error(err)
 			}
-			results[i], cachedFlags[i] = resp, cached
+			results[i], cachedFlags[i] = resp, outcome != "miss"
 		}(i)
 	}
 	close(gate)
@@ -111,15 +111,16 @@ func TestCacheLRUEviction(t *testing.T) {
 	})
 	do := func(key string) bool {
 		var ran bool
-		_, cached, err := c.Do(context.Background(), key, func() (*SolveResponse, error) {
+		_, outcome, err := c.Do(context.Background(), key, func() (*SolveResponse, error) {
 			ran = true
 			return &SolveResponse{}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		cached := outcome != "miss"
 		if ran == cached {
-			t.Fatalf("key %s: ran=%v cached=%v", key, ran, cached)
+			t.Fatalf("key %s: ran=%v outcome=%q", key, ran, outcome)
 		}
 		return cached
 	}
@@ -147,12 +148,12 @@ func TestCacheFailuresNotCached(t *testing.T) {
 	c := newResultCache(8, nil)
 	var calls int
 	for i := 0; i < 2; i++ {
-		_, cached, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
+		_, outcome, err := c.Do(context.Background(), "k", func() (*SolveResponse, error) {
 			calls++
 			return nil, &RequestError{Code: CodeBudget, Msg: "boom"}
 		})
-		if err == nil || cached {
-			t.Fatalf("attempt %d: err=%v cached=%v", i, err, cached)
+		if err == nil || outcome != "miss" {
+			t.Fatalf("attempt %d: err=%v outcome=%q", i, err, outcome)
 		}
 	}
 	if calls != 2 {
@@ -249,10 +250,10 @@ func TestCacheEndToEnd(t *testing.T) {
 		}
 		prev = out
 	}
-	if got := s.cacheEvts["miss"].Load(); got != 1 {
+	if got := s.cacheEvts.Value("miss"); got != 1 {
 		t.Errorf("miss events = %d, want 1", got)
 	}
-	if got := s.cacheEvts["hit"].Load(); got != 2 {
+	if got := s.cacheEvts.Value("hit"); got != 2 {
 		t.Errorf("hit events = %d, want 2", got)
 	}
 }
@@ -283,7 +284,7 @@ func TestCacheTinyCapacityEndToEnd(t *testing.T) {
 			t.Fatalf("round %d: b cached, want evicted by a", i)
 		}
 	}
-	if got := s.cacheEvts["evict"].Load(); got != 3 {
+	if got := s.cacheEvts.Value("evict"); got != 3 {
 		t.Errorf("evict events = %d, want 3", got)
 	}
 	if got := s.cache.Len(); got != 1 {

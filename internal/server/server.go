@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -124,34 +126,120 @@ type Server struct {
 	active   atomic.Int64 // solves currently holding a slot
 	solveSeq atomic.Uint64
 
-	requests   map[string]*atomic.Int64 // by code; "ok" for successes
-	reqSeconds atomic.Int64             // float64 bits: total request wall seconds
-	cacheEvts  map[string]*atomic.Int64 // hit | join | miss | evict
+	// rootd_* metric families, registered on the telemetry hub's
+	// registry so one /metrics endpoint renders solver and server
+	// families with shared HELP/TYPE dedup and validator coverage.
+	reqCodes   *telemetry.CounterVec   // rootd_requests_total{code}
+	reqSeconds *telemetry.Float64      // rootd_request_seconds_total
+	cacheEvts  *telemetry.CounterVec   // rootd_cache_events_total{event}
+	reqHist    *telemetry.HistogramVec // rootd_request_seconds{tenant}
+	queueHist  *telemetry.HistogramVec // rootd_queue_wait_seconds{tenant}
+	solveHist  *telemetry.HistogramVec // rootd_solve_seconds{method}
+
+	// Algorithm-health gauges: how the paper's §4 cost model fared on
+	// the most recent completed solve.
+	costRatio telemetry.Float64 // measured/estimated bit ops
+	peakBits  telemetry.Float64 // peak operand bit-length bucket floor
+
+	// tenants caps the tenant label's cardinality (see tenantLabel).
+	tenantMu sync.Mutex
+	tenants  map[string]bool
 }
+
+// maxTenantSeries bounds distinct tenant label values on the per-tenant
+// histograms; tenants beyond the cap share the "other" series so a
+// tenant-name flood cannot grow the exposition without bound.
+const maxTenantSeries = 32
 
 // New creates a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		queue:     newFairQueue(cfg.MaxConcurrent, cfg.MaxQueue),
-		limiter:   newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now),
-		requests:  map[string]*atomic.Int64{"ok": new(atomic.Int64)},
-		cacheEvts: map[string]*atomic.Int64{},
+		cfg:     cfg,
+		queue:   newFairQueue(cfg.MaxConcurrent, cfg.MaxQueue),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now),
+		tenants: map[string]bool{},
 	}
-	for _, code := range errorCodes {
-		s.requests[code] = new(atomic.Int64)
-	}
-	for _, e := range cacheEventNames {
-		s.cacheEvts[e] = new(atomic.Int64)
-	}
+	s.registerMetrics(cfg.Telemetry.Registry())
 	s.cache = newResultCache(cfg.CacheEntries, func(event string) {
-		if c := s.cacheEvts[event]; c != nil {
-			c.Add(1)
-		}
+		s.cacheEvts.Add(event, 1)
 	})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
+}
+
+// registerMetrics installs the rootd_* families on the hub's registry.
+// Counter and histogram registration is idempotent, so servers sharing
+// one hub accumulate into the same families; the state gauges rebind to
+// the latest server.
+func (s *Server) registerMetrics(reg *telemetry.Registry) {
+	s.reqCodes = reg.RegisterCounterVec("rootd_requests_total",
+		"Solve requests by outcome code.", "code",
+		append([]string{"ok"}, errorCodes...))
+	s.reqSeconds = reg.RegisterFloatCounter("rootd_request_seconds_total",
+		"Total request wall time in seconds.")
+	s.cacheEvts = reg.RegisterCounterVec("rootd_cache_events_total",
+		"Result-cache events.", "event", cacheEventNames)
+	s.reqHist = reg.RegisterHistogramVec("rootd_request_seconds",
+		"End-to-end request latency in seconds by tenant.",
+		telemetry.SecondsBuckets, "tenant")
+	s.queueHist = reg.RegisterHistogramVec("rootd_queue_wait_seconds",
+		"Admission-queue wait in seconds by tenant (flight leaders only).",
+		telemetry.SecondsBuckets, "tenant")
+	s.solveHist = reg.RegisterHistogramVec("rootd_solve_seconds",
+		"Core solve wall time in seconds by interval-refinement method (flight leaders only).",
+		telemetry.SecondsBuckets, "method")
+	reg.RegisterGaugeFunc("rootd_solve_queue_depth",
+		"Requests waiting for a solve slot.",
+		func() float64 { return float64(s.queue.Waiting()) })
+	reg.RegisterGaugeFunc("rootd_active_solves",
+		"Solves currently holding a slot.",
+		func() float64 { return float64(s.active.Load()) })
+	reg.RegisterGaugeFunc("rootd_reserved_bitops",
+		"Estimated bit operations of admitted unfinished solves.",
+		func() float64 { return float64(s.reserved.Load()) })
+	reg.RegisterGaugeFunc("rootd_draining",
+		"Whether the server is draining (1) or serving (0).",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.RegisterGaugeFunc("rootd_model_cost_ratio",
+		"Measured/estimated bit-ops ratio of the most recent completed solve (cost-model health; ~1 means the paper's schoolbook estimate is honest).",
+		s.costRatio.Load)
+	reg.RegisterGaugeFunc("rootd_peak_operand_bits",
+		"Peak operand bit-length (bucket lower bound) of the most recent completed solve.",
+		s.peakBits.Load)
+}
+
+// tenantLabel maps a tenant to its histogram label value, capping the
+// number of distinct values at maxTenantSeries.
+func (s *Server) tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "anonymous"
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenants[tenant] {
+		return tenant
+	}
+	if len(s.tenants) >= maxTenantSeries {
+		return "other"
+	}
+	s.tenants[tenant] = true
+	return tenant
+}
+
+// newRequestID generates a server-side request ID for clients that did
+// not send X-Request-Id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-unavailable"
+	}
+	return "r" + hex.EncodeToString(b[:])
 }
 
 var cacheEventNames = []string{"hit", "join", "miss", "evict"}
@@ -164,12 +252,15 @@ func (s *Server) Telemetry() *telemetry.Telemetry { return s.cfg.Telemetry }
 //	POST /v1/solve   solve a polynomial or symmetric matrix
 //	GET  /healthz    liveness ("ok", or 503 while draining)
 //	GET  /metrics    Prometheus exposition (solver + rootd families)
-//	GET  /debug/...  flight recorder and pprof, via the telemetry hub
+//	GET  /debug/...  flight recorder, request inspector, and pprof
+//
+// /metrics and /debug/* are served by the telemetry hub; the rootd_*
+// families appear there because New registers them on the hub's
+// registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/", s.cfg.Telemetry.Handler())
 	return mux
 }
@@ -202,33 +293,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	reqID := r.Header.Get("X-Request-Id")
+	if err := ValidateRequestID(reqID); err != nil {
+		s.fail(w, start, "", newRequestID(), err)
+		return
+	}
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
-		s.fail(w, start, "", &RequestError{Code: CodeBadRequest, Msg: "use POST"})
+		s.fail(w, start, "", reqID, &RequestError{Code: CodeBadRequest, Msg: "use POST"})
 		return
 	}
 	if s.draining.Load() {
-		s.fail(w, start, "", &RequestError{Code: CodeDraining, Msg: "server is draining"})
+		s.fail(w, start, "", reqID, &RequestError{Code: CodeDraining, Msg: "server is draining"})
 		return
 	}
 	s.inflight.RLock()
 	defer s.inflight.RUnlock()
 	if s.draining.Load() { // re-check under the lock: Drain may have won the race
-		s.fail(w, start, "", &RequestError{Code: CodeDraining, Msg: "server is draining"})
+		s.fail(w, start, "", reqID, &RequestError{Code: CodeDraining, Msg: "server is draining"})
 		return
 	}
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	if err != nil {
-		s.fail(w, start, "", badRequest("reading body: %v", err))
+		s.fail(w, start, "", reqID, badRequest("reading body: %v", err))
 		return
 	}
 	req, err := DecodeSolveRequest(body)
 	if err != nil {
-		s.fail(w, start, "", err)
+		s.fail(w, start, "", reqID, err)
 		return
 	}
+	req.RequestID = reqID
 	if ok, retry := s.limiter.Allow(req.Tenant); !ok {
-		s.failRetry(w, start, req.Tenant, &RequestError{
+		s.failRetry(w, start, req.Tenant, reqID, &RequestError{
 			Code: CodeRateLimited,
 			Msg:  fmt.Sprintf("tenant %q is over its request rate", req.Tenant),
 		}, retry)
@@ -237,17 +338,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := s.Solve(r.Context(), req)
 	if err != nil {
-		s.fail(w, start, req.Tenant, err)
+		s.fail(w, start, req.Tenant, reqID, err)
 		return
 	}
-	s.requests["ok"].Add(1)
-	s.addSeconds(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.reqCodes.Add("ok", 1)
+	s.reqSeconds.Add(elapsed.Seconds())
+	s.reqHist.With(s.tenantLabel(req.Tenant)).Observe(elapsed.Seconds(), reqID)
 	if l := s.cfg.Logger; l != nil {
 		l.LogAttrs(r.Context(), slog.LevelInfo, "request ok",
+			slog.String("requestId", reqID),
 			slog.String("tenant", req.Tenant),
 			slog.Int("degree", resp.Degree),
 			slog.Bool("cached", resp.Cached),
-			slog.Duration("elapsed", time.Since(start)))
+			slog.Duration("elapsed", elapsed))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -281,35 +385,63 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		maxBits = req.MaxBitOps
 	}
 	estimate := model.EstimateBitOps(req.degree(), req.coeffBits(), mu)
+	if req.RequestID == "" {
+		req.RequestID = newRequestID() // in-process callers may skip the handler
+	}
+
+	tr := s.cfg.Telemetry.Requests().Start(telemetry.RequestInfo{
+		ID:              req.RequestID,
+		Tenant:          req.Tenant,
+		Kind:            "solve",
+		Method:          method.String(),
+		Profile:         profile.String(),
+		Degree:          req.degree(),
+		Mu:              mu,
+		EstimatedBitOps: estimate,
+	})
 
 	key := req.cacheKey(mu, profile, method.String())
-	resp, cached, err := s.cache.Do(ctx, key, func() (*SolveResponse, error) {
+	resp, outcome, err := s.cache.Do(ctx, key, func() (*SolveResponse, error) {
 		return s.runSolve(ctx, req, solveParams{
 			mu: mu, profile: profile, method: method,
 			workers: workers, timeout: timeout, maxBits: maxBits,
 			estimate: estimate, tenant: req.Tenant,
+			requestID: req.RequestID, tracker: tr,
 		})
 	})
+	tr.SetCacheOutcome(outcome)
 	if err != nil {
+		tr.Finish(AsRequestError(err).Code)
 		return nil, err
 	}
-	if cached {
-		c := *resp // shallow copy: the cached response is shared read-only
-		c.Cached = true
-		resp = &c
+	if resp.Metrics != nil {
+		// For cache hits and joins these are the original solve's
+		// numbers — the cost-model verdict belongs to the result, not
+		// to the request that happened to ask first.
+		tr.SetSolve(time.Duration(resp.ElapsedSeconds*float64(time.Second)),
+			resp.BitOps, resp.Metrics.PeakBits())
 	}
-	return resp, nil
+	tr.Finish("ok")
+	// Always shallow-copy before answering: the response object is (or
+	// may become) the shared read-only cache entry, and RequestID is
+	// per-requester — a joiner must see its own ID, not the leader's.
+	c := *resp
+	c.Cached = outcome != "miss"
+	c.RequestID = req.RequestID
+	return &c, nil
 }
 
 type solveParams struct {
-	mu       uint
-	profile  mp.Profile
-	method   methodT
-	workers  int
-	timeout  time.Duration
-	maxBits  int64
-	estimate int64
-	tenant   string
+	mu        uint
+	profile   mp.Profile
+	method    methodT
+	workers   int
+	timeout   time.Duration
+	maxBits   int64
+	estimate  int64
+	tenant    string
+	requestID string
+	tracker   *telemetry.ActiveRequest
 }
 
 // runSolve is the flight leader's path: reserve the admission budget,
@@ -334,12 +466,16 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 	defer waitCancel()
 	stopWait := context.AfterFunc(s.baseCtx, waitCancel)
 	defer stopWait()
+	waitStart := time.Now()
 	if err := s.queue.Acquire(waitCtx, p.tenant); err != nil {
 		if s.baseCtx.Err() != nil {
 			return nil, &RequestError{Code: CodeDraining, Msg: "server is draining"}
 		}
 		return nil, err
 	}
+	wait := time.Since(waitStart)
+	p.tracker.SetQueueWait(wait)
+	s.queueHist.With(s.tenantLabel(p.tenant)).Observe(wait.Seconds(), p.requestID)
 	defer s.queue.Release()
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -355,6 +491,8 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 		Ctx:       solveCtx,
 		MaxBitOps: p.maxBits,
 		Telemetry: s.cfg.Telemetry,
+		RequestID: p.requestID,
+		OnPhase:   p.tracker.SetPhase,
 	}
 	var counters metrics.Counters
 	opts.Counters = &counters
@@ -370,6 +508,7 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 	start := time.Now()
 	roots, err := core.FindRootsWithMultiplicity(poly, opts)
 	elapsed := time.Since(start)
+	s.solveHist.With(p.method.String()).Observe(elapsed.Seconds(), p.requestID)
 	if err != nil {
 		return nil, mapSolveError(err)
 	}
@@ -386,6 +525,10 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 		distinct++
 	}
 	rep := counters.Snapshot()
+	if p.estimate > 0 {
+		s.costRatio.Store(float64(counters.BitOps()) / float64(p.estimate))
+	}
+	s.peakBits.Store(float64(rep.PeakBits()))
 	return &SolveResponse{
 		Roots:           out,
 		Degree:          req.degree(),
@@ -461,22 +604,23 @@ func statusFor(code string) int {
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, start time.Time, tenant string, err error) {
+func (s *Server) fail(w http.ResponseWriter, start time.Time, tenant, reqID string, err error) {
 	re := AsRequestError(err)
 	retry := time.Duration(0)
 	if code := statusFor(re.Code); code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		retry = time.Second
 	}
-	s.failRetry(w, start, tenant, re, retry)
+	s.failRetry(w, start, tenant, reqID, re, retry)
 }
 
-func (s *Server) failRetry(w http.ResponseWriter, start time.Time, tenant string, re *RequestError, retry time.Duration) {
-	if c := s.requests[re.Code]; c != nil {
-		c.Add(1)
-	}
-	s.addSeconds(time.Since(start).Seconds())
+func (s *Server) failRetry(w http.ResponseWriter, start time.Time, tenant, reqID string, re *RequestError, retry time.Duration) {
+	elapsed := time.Since(start)
+	s.reqCodes.Add(re.Code, 1)
+	s.reqSeconds.Add(elapsed.Seconds())
+	s.reqHist.With(s.tenantLabel(tenant)).Observe(elapsed.Seconds(), reqID)
 	if l := s.cfg.Logger; l != nil {
 		l.LogAttrs(context.Background(), slog.LevelWarn, "request failed",
+			slog.String("requestId", reqID),
 			slog.String("tenant", tenant),
 			slog.String("code", re.Code),
 			slog.String("error", re.Msg))
@@ -500,61 +644,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func (s *Server) addSeconds(sec float64) {
-	for {
-		old := s.reqSeconds.Load()
-		new_ := math.Float64bits(math.Float64frombits(uint64(old)) + sec)
-		if s.reqSeconds.CompareAndSwap(old, int64(new_)) {
-			return
-		}
-	}
-}
-
-// handleMetrics writes the telemetry registry's exposition followed by
-// the server's own rootd_* families. Family label sets are fixed and
-// always emitted so scrapes are stable from the first request.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.cfg.Telemetry.Registry().WritePrometheus(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.writeOwnMetrics(w)
-}
-
-func (s *Server) writeOwnMetrics(w io.Writer) {
-	fmt.Fprintln(w, "# HELP rootd_requests_total Solve requests by outcome code.")
-	fmt.Fprintln(w, "# TYPE rootd_requests_total counter")
-	fmt.Fprintf(w, "rootd_requests_total{code=\"ok\"} %d\n", s.requests["ok"].Load())
-	for _, code := range errorCodes {
-		fmt.Fprintf(w, "rootd_requests_total{code=%q} %d\n", code, s.requests[code].Load())
-	}
-	fmt.Fprintln(w, "# HELP rootd_request_seconds_total Total request wall time in seconds.")
-	fmt.Fprintln(w, "# TYPE rootd_request_seconds_total counter")
-	fmt.Fprintf(w, "rootd_request_seconds_total %g\n", math.Float64frombits(uint64(s.reqSeconds.Load())))
-	fmt.Fprintln(w, "# HELP rootd_cache_events_total Result-cache events.")
-	fmt.Fprintln(w, "# TYPE rootd_cache_events_total counter")
-	for _, e := range cacheEventNames {
-		fmt.Fprintf(w, "rootd_cache_events_total{event=%q} %d\n", e, s.cacheEvts[e].Load())
-	}
-	fmt.Fprintln(w, "# HELP rootd_solve_queue_depth Requests waiting for a solve slot.")
-	fmt.Fprintln(w, "# TYPE rootd_solve_queue_depth gauge")
-	fmt.Fprintf(w, "rootd_solve_queue_depth %d\n", s.queue.Waiting())
-	fmt.Fprintln(w, "# HELP rootd_active_solves Solves currently holding a slot.")
-	fmt.Fprintln(w, "# TYPE rootd_active_solves gauge")
-	fmt.Fprintf(w, "rootd_active_solves %d\n", s.active.Load())
-	fmt.Fprintln(w, "# HELP rootd_reserved_bitops Estimated bit operations of admitted unfinished solves.")
-	fmt.Fprintln(w, "# TYPE rootd_reserved_bitops gauge")
-	fmt.Fprintf(w, "rootd_reserved_bitops %d\n", s.reserved.Load())
-	fmt.Fprintln(w, "# HELP rootd_draining Whether the server is draining (1) or serving (0).")
-	fmt.Fprintln(w, "# TYPE rootd_draining gauge")
-	drain := 0
-	if s.draining.Load() {
-		drain = 1
-	}
-	fmt.Fprintf(w, "rootd_draining %d\n", drain)
 }
 
 // Running is a live rootd listener started by ListenAndServe.

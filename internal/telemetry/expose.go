@@ -14,6 +14,14 @@ import (
 // first, a family is typed at most once, no duplicate samples (same
 // name and label set), and counter samples are finite and
 // non-negative.
+//
+// Histogram families are validated structurally: _bucket/_sum/_count
+// samples must follow a histogram-typed base family, every _bucket
+// carries an "le" label, per-series buckets are emitted in ascending
+// le order with non-decreasing cumulative counts and a closing +Inf
+// bucket whose value equals the series' _count. OpenMetrics-style
+// exemplars ("# {request_id="…"} value" after the sample value) are
+// accepted on histogram _bucket lines only.
 func ValidateExposition(data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("telemetry: empty exposition")
@@ -24,6 +32,8 @@ func ValidateExposition(data []byte) error {
 	typed := map[string]string{}  // family -> type
 	helped := map[string]bool{}   // family has HELP
 	seen := map[string]struct{}{} // name{labels} dedupe
+	hists := map[string]*histSeries{}
+	var histOrder []string
 	lines := strings.Split(string(data[:len(data)-1]), "\n")
 	for ln, line := range lines {
 		lineNo := ln + 1
@@ -61,25 +71,233 @@ func ValidateExposition(data []byte) error {
 		case strings.HasPrefix(line, "#"):
 			// Arbitrary comment: allowed by the format.
 		default:
-			name, labels, value, err := parseSample(line)
+			name, labels, value, exemplar, err := parseSample(line)
 			if err != nil {
 				return fmt.Errorf("telemetry: line %d: %v", lineNo, err)
 			}
 			typ, ok := typed[name]
+			histBase, histSuffix := "", ""
 			if !ok {
-				return fmt.Errorf("telemetry: line %d: sample for %q before its TYPE line", lineNo, name)
+				histBase, histSuffix = histogramSuffix(name, typed)
+				if histBase == "" {
+					return fmt.Errorf("telemetry: line %d: sample for %q before its TYPE line", lineNo, name)
+				}
+				typ = "histogram"
 			}
 			key := name + "{" + labels + "}"
 			if _, dup := seen[key]; dup {
 				return fmt.Errorf("telemetry: line %d: duplicate sample %s", lineNo, key)
 			}
 			seen[key] = struct{}{}
+			if exemplar != "" {
+				if histSuffix != "_bucket" {
+					return fmt.Errorf("telemetry: line %d: exemplar on non-bucket sample %q", lineNo, name)
+				}
+				if err := validateExemplar(exemplar); err != nil {
+					return fmt.Errorf("telemetry: line %d: %v", lineNo, err)
+				}
+			}
 			if typ == "counter" && (math.IsNaN(value) || math.IsInf(value, 0) || value < 0) {
 				return fmt.Errorf("telemetry: line %d: counter %q has invalid value %v", lineNo, name, value)
 			}
+			if histBase != "" {
+				if err := foldHistSample(hists, &histOrder, histBase, histSuffix, labels, value, lineNo); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return checkHistSeries(hists, histOrder)
+}
+
+// histSeries accumulates one histogram series (base family + labels
+// minus le) across its _bucket/_sum/_count lines.
+type histSeries struct {
+	name     string
+	lastLe   float64
+	lastCum  float64
+	buckets  int
+	infSeen  bool
+	infCum   float64
+	sumSeen  bool
+	countVal float64
+	hasCount bool
+}
+
+// histogramSuffix reports whether name is a histogram component sample
+// (_bucket/_sum/_count of a histogram-typed base family), returning
+// the base name and suffix.
+func histogramSuffix(name string, typed map[string]string) (base, suffix string) {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && typed[b] == "histogram" {
+			return b, suf
+		}
+	}
+	return "", ""
+}
+
+// foldHistSample folds one histogram component line into its series.
+func foldHistSample(hists map[string]*histSeries, order *[]string, base, suffix, labels string, value float64, lineNo int) error {
+	pairs, err := parseLabelPairs(labels)
+	if err != nil {
+		return fmt.Errorf("telemetry: line %d: %v", lineNo, err)
+	}
+	le, hasLe := "", false
+	var rest []string
+	for _, p := range pairs {
+		if p[0] == "le" {
+			le, hasLe = p[1], true
+			continue
+		}
+		rest = append(rest, p[0]+"="+p[1])
+	}
+	key := base + "{" + strings.Join(rest, ",") + "}"
+	hs := hists[key]
+	if hs == nil {
+		hs = &histSeries{name: key, lastLe: math.Inf(-1)}
+		hists[key] = hs
+		*order = append(*order, key)
+	}
+	switch suffix {
+	case "_bucket":
+		if !hasLe {
+			return fmt.Errorf("telemetry: line %d: histogram bucket %s missing le label", lineNo, key)
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("telemetry: line %d: invalid le %q on %s", lineNo, le, key)
+			}
+		}
+		if bound <= hs.lastLe {
+			return fmt.Errorf("telemetry: line %d: %s buckets not in ascending le order (%v after %v)", lineNo, key, bound, hs.lastLe)
+		}
+		if value < hs.lastCum {
+			return fmt.Errorf("telemetry: line %d: %s bucket counts not cumulative (%v after %v)", lineNo, key, value, hs.lastCum)
+		}
+		hs.lastLe, hs.lastCum = bound, value
+		hs.buckets++
+		if math.IsInf(bound, 1) {
+			hs.infSeen, hs.infCum = true, value
+		}
+	case "_sum":
+		if hasLe {
+			return fmt.Errorf("telemetry: line %d: le label on %s_sum", lineNo, base)
+		}
+		hs.sumSeen = true
+	case "_count":
+		if hasLe {
+			return fmt.Errorf("telemetry: line %d: le label on %s_count", lineNo, base)
+		}
+		hs.countVal, hs.hasCount = value, true
+	}
+	return nil
+}
+
+// checkHistSeries enforces each series' closing invariants once the
+// whole exposition has been read.
+func checkHistSeries(hists map[string]*histSeries, order []string) error {
+	for _, key := range order {
+		hs := hists[key]
+		if hs.buckets == 0 {
+			return fmt.Errorf("telemetry: histogram series %s has _sum/_count but no buckets", key)
+		}
+		if !hs.infSeen {
+			return fmt.Errorf("telemetry: histogram series %s has no +Inf bucket", key)
+		}
+		if !hs.sumSeen {
+			return fmt.Errorf("telemetry: histogram series %s has no _sum sample", key)
+		}
+		if !hs.hasCount {
+			return fmt.Errorf("telemetry: histogram series %s has no _count sample", key)
+		}
+		if hs.countVal != hs.infCum {
+			return fmt.Errorf("telemetry: histogram series %s count %v != +Inf bucket %v", key, hs.countVal, hs.infCum)
 		}
 	}
 	return nil
+}
+
+// validateExemplar checks an OpenMetrics-style exemplar suffix:
+// {label="value",…} value [timestamp].
+func validateExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar %q does not start with a label block", ex)
+	}
+	end, err := scanLabels(ex)
+	if err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	rest := ex[end:]
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("exemplar %q missing value", ex)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return fmt.Errorf("exemplar %q: want value [timestamp]", ex)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("exemplar value %q invalid", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("exemplar timestamp %q invalid", fields[1])
+		}
+	}
+	return nil
+}
+
+// parseLabelPairs splits a validated raw label block (the text between
+// the braces) into name/value pairs, unescaping values.
+func parseLabelPairs(labels string) ([][2]string, error) {
+	if labels == "" {
+		return nil, nil
+	}
+	var pairs [][2]string
+	i := 0
+	for i < len(labels) {
+		start := i
+		for i < len(labels) && labels[i] != '=' {
+			i++
+		}
+		if i >= len(labels) {
+			return nil, fmt.Errorf("malformed label block %q", labels)
+		}
+		name := labels[start:i]
+		i++ // '='
+		if i >= len(labels) || labels[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", labels)
+		}
+		i++
+		var val strings.Builder
+		for i < len(labels) && labels[i] != '"' {
+			if labels[i] == '\\' && i+1 < len(labels) {
+				i++
+				switch labels[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(labels[i])
+				}
+			} else {
+				val.WriteByte(labels[i])
+			}
+			i++
+		}
+		if i >= len(labels) {
+			return nil, fmt.Errorf("unterminated label value in %q", labels)
+		}
+		i++ // closing quote
+		pairs = append(pairs, [2]string{name, val.String()})
+		if i < len(labels) {
+			if labels[i] != ',' {
+				return nil, fmt.Errorf("unexpected %q in label block", labels[i])
+			}
+			i++
+		}
+	}
+	return pairs, nil
 }
 
 func validMetricName(s string) bool {
@@ -119,43 +337,50 @@ func validLabelName(s string) bool {
 }
 
 // parseSample parses one sample line: name[{label="value",…}] value
-// [timestamp]. It returns the metric name, the raw label block (for
-// duplicate detection), and the parsed value.
-func parseSample(line string) (name, labels string, value float64, err error) {
+// [timestamp] [# exemplar]. It returns the metric name, the raw label
+// block (for duplicate detection), the parsed value, and the raw
+// exemplar suffix (empty when absent). The exemplar separator is
+// looked for only after the label block has been consumed, so '#'
+// inside quoted label values cannot confuse it.
+func parseSample(line string) (name, labels string, value float64, exemplar string, err error) {
 	i := 0
 	for i < len(line) && line[i] != '{' && line[i] != ' ' {
 		i++
 	}
 	name = line[:i]
 	if !validMetricName(name) {
-		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+		return "", "", 0, "", fmt.Errorf("invalid metric name %q", name)
 	}
 	rest := line[i:]
 	if strings.HasPrefix(rest, "{") {
 		end, err := scanLabels(rest)
 		if err != nil {
-			return "", "", 0, err
+			return "", "", 0, "", err
 		}
 		labels = rest[1 : end-1]
 		rest = rest[end:]
 	}
 	if !strings.HasPrefix(rest, " ") {
-		return "", "", 0, fmt.Errorf("missing space before value in %q", line)
+		return "", "", 0, "", fmt.Errorf("missing space before value in %q", line)
+	}
+	if j := strings.Index(rest, " # "); j >= 0 {
+		exemplar = rest[j+len(" # "):]
+		rest = rest[:j]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 || len(fields) > 2 {
-		return "", "", 0, fmt.Errorf("want value [timestamp], got %q", rest)
+		return "", "", 0, "", fmt.Errorf("want value [timestamp], got %q", rest)
 	}
 	value, err = strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return "", "", 0, fmt.Errorf("invalid sample value %q", fields[0])
+		return "", "", 0, "", fmt.Errorf("invalid sample value %q", fields[0])
 	}
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return "", "", 0, fmt.Errorf("invalid timestamp %q", fields[1])
+			return "", "", 0, "", fmt.Errorf("invalid timestamp %q", fields[1])
 		}
 	}
-	return name, labels, value, nil
+	return name, labels, value, exemplar, nil
 }
 
 // scanLabels validates a {label="value",…} block starting at s[0]=='{'

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFloat64ConcurrentAdd checks the CAS loop drops no updates under
+// contention (run with -race).
+func TestFloat64ConcurrentAdd(t *testing.T) {
+	var f Float64
+	const goroutines, adds = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := f.Load(), float64(goroutines*adds)*0.5; got != want {
+		t.Fatalf("Load() = %v after concurrent adds, want %v", got, want)
+	}
+}
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v, "")
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum() = %v, want %v", got, want)
+	}
+	buckets, _, count := h.snapshot()
+	if count != 5 {
+		t.Fatalf("snapshot count = %d, want 5", count)
+	}
+	// Cumulative: ≤0.1 holds 2 (0.05, 0.1 — bounds are inclusive),
+	// ≤1 holds 3, ≤10 holds 4, +Inf holds all 5.
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, b := range buckets {
+		if b.cum != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.cum, wantCum[i])
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].le, 1) {
+		t.Error("last bucket bound is not +Inf")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 100 observations uniform in the (1,2] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5, "")
+	}
+	// Interpolation puts q=0.5 at the middle of the holding bucket.
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Fatalf("Quantile(0.5) = %v, want within (1,2]", got)
+	}
+	// +Inf observations clamp to the highest finite bound.
+	over := NewHistogram([]float64{1, 2, 4})
+	over.Observe(100, "")
+	if got := over.Quantile(0.99); got != 4 {
+		t.Fatalf("Quantile over +Inf bucket = %v, want clamp to 4", got)
+	}
+	var empty *Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramExemplarLatestWins(t *testing.T) {
+	h := NewHistogram(SecondsBuckets)
+	h.Observe(0.01, "first")
+	h.Observe(0.011, "second")
+	h.Observe(0.3, "elsewhere")
+	buckets, _, _ := h.snapshot()
+	var got *Exemplar
+	for _, b := range buckets {
+		if b.le >= 0.011 && b.exemplar != nil && got == nil {
+			got = b.exemplar
+		}
+	}
+	if got == nil || got.RequestID != "second" {
+		t.Fatalf("exemplar = %+v, want latest observation (second)", got)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run with -race) and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(SecondsBuckets)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100)/100, fmt.Sprintf("g%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count() = %d, want %d", got, goroutines*per)
+	}
+	_, _, count := h.snapshot()
+	if count != goroutines*per {
+		t.Fatalf("snapshot count = %d, want %d", count, goroutines*per)
+	}
+}
+
+// TestHistogramVecExposition renders a registry with histogram series
+// and checks the strict validator accepts the output, exemplars
+// included.
+func TestHistogramVecExposition(t *testing.T) {
+	hub := New(Config{})
+	reg := hub.Registry()
+	hv := reg.RegisterHistogramVec("rootd_test_seconds", "Test latency.", SecondsBuckets, "tenant")
+	hv.With("acme").Observe(0.003, "req-1")
+	hv.With("acme").Observe(2.5, "req-2")
+	hv.With("umbrella").Observe(0.04, "")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo := sb.String()
+	if err := ValidateExposition([]byte(expo)); err != nil {
+		t.Fatalf("exposition with histograms rejected: %v\n%s", err, expo)
+	}
+	for _, want := range []string{
+		`# TYPE rootd_test_seconds histogram`,
+		`rootd_test_seconds_bucket{tenant="acme",le="+Inf"} 2`,
+		`rootd_test_seconds_count{tenant="acme"} 2`,
+		`# {request_id="req-1"} 0.003`,
+		`rootd_test_seconds_count{tenant="umbrella"} 1`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q\n%s", want, expo)
+		}
+	}
+}
+
+// TestRegisterIdempotent pins the registration contract: counters and
+// histograms return the existing collector, gauge funcs rebind.
+func TestRegisterIdempotent(t *testing.T) {
+	hub := New(Config{})
+	reg := hub.Registry()
+	c1 := reg.RegisterCounterVec("t_total", "h", "l", []string{"a"})
+	c2 := reg.RegisterCounterVec("t_total", "h", "l", []string{"a"})
+	if c1 != c2 {
+		t.Error("re-registering a counter did not return the existing one")
+	}
+	c1.Add("a", 1)
+	c2.Add("a", 1)
+	if got := c1.Value("a"); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+	h1 := reg.RegisterHistogramVec("t_seconds", "h", SecondsBuckets, "l")
+	h2 := reg.RegisterHistogramVec("t_seconds", "h", SecondsBuckets, "l")
+	if h1 != h2 {
+		t.Error("re-registering a histogram did not return the existing one")
+	}
+	reg.RegisterGaugeFunc("t_gauge", "h", func() float64 { return 1 })
+	reg.RegisterGaugeFunc("t_gauge", "h", func() float64 { return 2 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t_gauge 2") {
+		t.Error("gauge func did not rebind to the latest registrant")
+	}
+	if err := ValidateExposition([]byte(sb.String())); err != nil {
+		t.Fatalf("exposition rejected: %v", err)
+	}
+}
+
+// TestValidateExpositionHistogramRejects feeds the validator broken
+// histogram structures and checks each is refused.
+func TestValidateExpositionHistogramRejects(t *testing.T) {
+	cases := map[string]string{
+		"bucket without le": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{tenant="a"} 1` + "\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"missing +Inf bucket": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count != +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+		"missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"exemplar on non-bucket line": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\n" + `h_count 1 # {request_id="r"} 1` + "\n",
+		"malformed exemplar": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1 # request_id` + "\nh_sum 1\nh_count 1\n",
+	}
+	for name, expo := range cases {
+		if err := ValidateExposition([]byte(expo)); err == nil {
+			t.Errorf("%s: accepted, want rejection:\n%s", name, expo)
+		}
+	}
+	good := "# HELP h x\n# TYPE h histogram\n" +
+		`h_bucket{le="1"} 1 # {request_id="r-1"} 0.5` + "\n" +
+		`h_bucket{le="+Inf"} 2` + "\nh_sum 1.5\nh_count 2\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("valid histogram with exemplar rejected: %v", err)
+	}
+}

@@ -20,6 +20,10 @@ import (
 type Registry struct {
 	flight *Flight
 
+	// families holds custom (non-realroots_) metric families registered
+	// by layered servers; see families.go.
+	families famState
+
 	mu           sync.Mutex
 	runsStarted  int64
 	runsFinished int64
@@ -129,12 +133,11 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
-// sample emits one sample line. labels come as name=value pairs in
-// emission order.
-func (e *expoWriter) sample(name string, value string, labels ...string) {
+// sampleLine renders one sample line. labels come as name=value pairs
+// in emission order.
+func sampleLine(name, value string, labels ...string) string {
 	if len(labels) == 0 {
-		e.printf("%s %s\n", name, value)
-		return
+		return name + " " + value
 	}
 	var sb strings.Builder
 	sb.WriteString(name)
@@ -149,7 +152,14 @@ func (e *expoWriter) sample(name string, value string, labels ...string) {
 		sb.WriteByte('"')
 	}
 	sb.WriteByte('}')
-	e.printf("%s %s\n", sb.String(), value)
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	return sb.String()
+}
+
+// sample emits one sample line.
+func (e *expoWriter) sample(name string, value string, labels ...string) {
+	e.printf("%s\n", sampleLine(name, value, labels...))
 }
 
 func (e *expoWriter) sampleInt(name string, v int64, labels ...string) {
@@ -264,6 +274,8 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	e.sampleInt("realroots_flight_capacity", int64(g.flight.Capacity()))
 	e.family("realroots_flight_records_total", "Records published to the flight recorder.", "counter")
 	e.sampleInt("realroots_flight_records_total", int64(g.flight.Written()))
+
+	g.families.writeAll(e)
 
 	return e.err
 }

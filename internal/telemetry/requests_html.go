@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// requestsTmpl renders the /debug/requests inspector in the spirit of
+// golang.org/x/net/trace: a compact table of in-flight requests
+// followed by the most recently completed ones, newest first. Every
+// row carries the numbers needed to debug a slow request in place —
+// where the time went (queue vs solve), how the cost model fared
+// (estimated vs measured bit-ops), and how large the arithmetic grew.
+var requestsTmpl = template.Must(template.New("requests").Funcs(template.FuncMap{
+	"secs": func(v float64) string {
+		switch {
+		case v == 0:
+			return "-"
+		case v < 0.001:
+			return fmt.Sprintf("%.0fµs", v*1e6)
+		case v < 1:
+			return fmt.Sprintf("%.1fms", v*1e3)
+		default:
+			return fmt.Sprintf("%.3fs", v)
+		}
+	},
+	"ratio": func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", v)
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><title>/debug/requests</title><style>
+body { font-family: sans-serif; font-size: 13px; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+td.s { text-align: left; font-family: monospace; }
+.err { color: #b00; }
+</style></head><body>
+<h1>rootd requests</h1>
+<p>{{len .Active}} active, {{len .Recent}} recent of {{.Total}} total (ring capacity {{.Capacity}}).
+Cost ratio is measured/estimated bit-ops under the paper&#39;s schoolbook model.
+<a href="?format=json">JSON</a></p>
+{{define "rows"}}{{range .}}<tr>
+<td class=s>{{.ID}}</td><td class=s>{{.Tenant}}</td><td class=s>{{.Kind}}</td>
+<td>{{.Degree}}</td><td>{{.Mu}}</td><td class=s>{{.Method}}</td><td class=s>{{.Profile}}</td>
+<td class=s>{{if .CacheOutcome}}{{.CacheOutcome}}{{else}}-{{end}}</td>
+<td>{{.EstimatedBitOps}}</td><td>{{.ActualBitOps}}</td><td>{{ratio .CostRatio}}</td>
+<td>{{.PeakOperandBits}}</td>
+<td>{{secs .QueueWaitSecs}}</td><td>{{secs .SolveSecs}}</td><td>{{secs .TotalSecs}}</td>
+<td class=s>{{if .Active}}{{.Phase}}{{else if eq .Outcome "ok"}}ok{{else}}<span class=err>{{.Outcome}}</span>{{end}}</td>
+</tr>{{end}}{{end}}
+<h2>Active</h2>
+{{if .Active}}<table><tr><th>request</th><th>tenant</th><th>kind</th><th>deg</th><th>µ</th><th>method</th><th>profile</th><th>cache</th><th>est bit-ops</th><th>bit-ops</th><th>ratio</th><th>peak bits</th><th>queue</th><th>solve</th><th>total</th><th>phase</th></tr>
+{{template "rows" .Active}}</table>{{else}}<p>none</p>{{end}}
+<h2>Recent (newest first)</h2>
+{{if .Recent}}<table><tr><th>request</th><th>tenant</th><th>kind</th><th>deg</th><th>µ</th><th>method</th><th>profile</th><th>cache</th><th>est bit-ops</th><th>bit-ops</th><th>ratio</th><th>peak bits</th><th>queue</th><th>solve</th><th>total</th><th>outcome</th></tr>
+{{template "rows" .Recent}}</table>{{else}}<p>none</p>{{end}}
+</body></html>
+`))
+
+func writeRequestsHTML(w io.Writer, d *RequestsDump) {
+	// Template errors on a valid dump are impossible; a broken write is
+	// the client hanging up, which the server already handles.
+	_ = requestsTmpl.Execute(w, d)
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -10,10 +11,11 @@ import (
 
 // Handler returns the debug mux serving the hub:
 //
-//	/metrics        Prometheus text exposition of the Registry
-//	/debug/flight   JSON dump of the flight recorder
-//	/debug/pprof/*  the standard runtime profiles
-//	/               a plain-text index
+//	/metrics          Prometheus text exposition of the Registry
+//	/debug/flight     JSON dump of the flight recorder
+//	/debug/requests   live request inspector (HTML; ?format=json for the dump)
+//	/debug/pprof/*    the standard runtime profiles
+//	/                 a plain-text index
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -28,6 +30,20 @@ func (t *Telemetry) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		dump := t.Requests().Dump()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(dump); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeRequestsHTML(w, dump)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -40,9 +56,10 @@ func (t *Telemetry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "realroots telemetry")
-		fmt.Fprintln(w, "  /metrics        Prometheus exposition")
-		fmt.Fprintln(w, "  /debug/flight   flight recorder dump (JSON)")
-		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
+		fmt.Fprintln(w, "  /metrics          Prometheus exposition")
+		fmt.Fprintln(w, "  /debug/flight     flight recorder dump (JSON)")
+		fmt.Fprintln(w, "  /debug/requests   live request inspector (?format=json)")
+		fmt.Fprintln(w, "  /debug/pprof/     runtime profiles")
 	})
 	return mux
 }

@@ -81,10 +81,11 @@ type Config struct {
 // Telemetry is the hub tying the three sinks together. One hub serves
 // a whole process: runs from concurrent solves interleave safely.
 type Telemetry struct {
-	logger *slog.Logger
-	flight *Flight
-	reg    *Registry
-	runSeq atomic.Uint64
+	logger   *slog.Logger
+	flight   *Flight
+	reg      *Registry
+	requests *RequestTracker
+	runSeq   atomic.Uint64
 }
 
 // New creates a telemetry hub.
@@ -93,9 +94,22 @@ func New(cfg Config) *Telemetry {
 	if capacity <= 0 {
 		capacity = DefaultFlightCapacity
 	}
-	t := &Telemetry{logger: cfg.Logger, flight: NewFlight(capacity)}
+	t := &Telemetry{
+		logger:   cfg.Logger,
+		flight:   NewFlight(capacity),
+		requests: NewRequestTracker(DefaultRequestRingCapacity),
+	}
 	t.reg = newRegistry(t.flight)
 	return t
+}
+
+// Requests returns the hub's request tracker, backing the
+// /debug/requests inspector (nil for a nil hub).
+func (t *Telemetry) Requests() *RequestTracker {
+	if t == nil {
+		return nil
+	}
+	return t.requests
 }
 
 // Flight returns the hub's flight recorder (nil for a nil hub).
@@ -122,33 +136,65 @@ func (t *Telemetry) Logger() *slog.Logger {
 	return t.logger
 }
 
-// RunStart opens a new solve run and emits its start event. kind names
-// the entry point ("core" for the parallel pipeline, "sturm" for the
-// sequential baseline); degree, mu, and workers describe the problem.
-// On a nil hub it returns a nil *Run, on which every method is a
-// zero-allocation no-op.
+// RunInfo describes a solve run to Start: the entry point ("core" for
+// the parallel pipeline, "sturm" for the sequential baseline), the
+// problem shape, and — when the run serves a tracked request — the
+// request ID that every sink should carry.
+type RunInfo struct {
+	Kind    string
+	Degree  int
+	Mu      uint
+	Workers int
+	// RequestID, if non-empty, scopes the run to one external request:
+	// every slog record gains a requestId attribute and a
+	// "request_id:<id>" control-lane flight event binds the run number
+	// to the ID, so one grep over either sink reconstructs the request.
+	RequestID string
+}
+
+// RunStart opens a new solve run and emits its start event; it is
+// Start without a request scope. On a nil hub it returns a nil *Run,
+// on which every method is a zero-allocation no-op.
 func (t *Telemetry) RunStart(kind string, degree int, mu uint, workers int) *Run {
+	return t.Start(RunInfo{Kind: kind, Degree: degree, Mu: mu, Workers: workers})
+}
+
+// Start opens a new solve run and emits its start event. On a nil hub
+// it returns a nil *Run, on which every method is a zero-allocation
+// no-op.
+func (t *Telemetry) Start(info RunInfo) *Run {
 	if t == nil {
 		return nil
 	}
 	r := &Run{
-		ID:      t.runSeq.Add(1),
-		tel:     t,
-		kind:    kind,
-		degree:  degree,
-		mu:      mu,
-		workers: workers,
-		start:   time.Now(),
+		ID:        t.runSeq.Add(1),
+		tel:       t,
+		kind:      info.Kind,
+		degree:    info.Degree,
+		mu:        info.Mu,
+		workers:   info.Workers,
+		requestID: info.RequestID,
+		start:     time.Now(),
 	}
 	t.reg.runStarted()
-	t.flight.Event(r.ID, ControlLane, "start", int64(degree))
+	t.flight.Event(r.ID, ControlLane, "start", int64(info.Degree))
+	if r.requestID != "" {
+		// The flight Record has no string payload field, so the binding
+		// between run number and request ID is its own event whose name
+		// carries the ID; everything else on the run is found by run
+		// number.
+		t.flight.Event(r.ID, ControlLane, "request_id:"+r.requestID, 0)
+	}
 	if l := t.logger; l != nil {
-		l.LogAttrs(context.Background(), slog.LevelInfo, "solve start",
+		attrs := []slog.Attr{
 			slog.Uint64("run", r.ID),
-			slog.String("kind", kind),
-			slog.Int("degree", degree),
-			slog.Uint64("mu", uint64(mu)),
-			slog.Int("workers", workers))
+			slog.String("kind", info.Kind),
+			slog.Int("degree", info.Degree),
+			slog.Uint64("mu", uint64(info.Mu)),
+			slog.Int("workers", info.Workers),
+		}
+		attrs = r.appendRequestID(attrs)
+		l.LogAttrs(context.Background(), slog.LevelInfo, "solve start", attrs...)
 	}
 	return r
 }
@@ -159,18 +205,37 @@ func (t *Telemetry) RunStart(kind string, degree int, mu uint, workers int) *Run
 // A nil *Run is valid everywhere and records nothing.
 type Run struct {
 	// ID is the process-unique run identifier (1-based).
-	ID      uint64
-	tel     *Telemetry
-	kind    string
-	degree  int
-	mu      uint
-	workers int
-	start   time.Time
+	ID        uint64
+	tel       *Telemetry
+	kind      string
+	degree    int
+	mu        uint
+	workers   int
+	requestID string
+	start     time.Time
 
 	// sched stats reported before Finish via SchedStats; written by the
 	// run's control goroutine only.
 	sched    SchedStats
 	hasSched bool
+}
+
+// RequestID returns the request ID the run was started with (empty for
+// unscoped runs and nil runs).
+func (r *Run) RequestID() string {
+	if r == nil {
+		return ""
+	}
+	return r.requestID
+}
+
+// appendRequestID appends the requestId attribute when the run is
+// request-scoped.
+func (r *Run) appendRequestID(attrs []slog.Attr) []slog.Attr {
+	if r.requestID == "" {
+		return attrs
+	}
+	return append(attrs, slog.String("requestId", r.requestID))
 }
 
 // PhaseBegin opens a named pipeline phase (flight-recorder span on the
@@ -182,7 +247,7 @@ func (r *Run) PhaseBegin(name string) {
 	r.tel.flight.Begin(r.ID, ControlLane, name, trace.CatPhase)
 	if l := r.tel.logger; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
 		l.LogAttrs(context.Background(), slog.LevelDebug, "phase begin",
-			slog.Uint64("run", r.ID), slog.String("phase", name))
+			r.appendRequestID([]slog.Attr{slog.Uint64("run", r.ID), slog.String("phase", name)})...)
 	}
 }
 
@@ -194,7 +259,7 @@ func (r *Run) PhaseEnd(name string) {
 	r.tel.flight.End(r.ID, ControlLane, name)
 	if l := r.tel.logger; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
 		l.LogAttrs(context.Background(), slog.LevelDebug, "phase end",
-			slog.Uint64("run", r.ID), slog.String("phase", name))
+			r.appendRequestID([]slog.Attr{slog.Uint64("run", r.ID), slog.String("phase", name)})...)
 	}
 }
 
@@ -216,7 +281,7 @@ func (r *Run) BudgetExhausted(bitOps int64) {
 	r.tel.flight.Event(r.ID, ControlLane, "budget_exhausted", bitOps)
 	if l := r.tel.logger; l != nil {
 		l.LogAttrs(context.Background(), slog.LevelWarn, "budget exhausted",
-			slog.Uint64("run", r.ID), slog.Int64("bitOps", bitOps))
+			r.appendRequestID([]slog.Attr{slog.Uint64("run", r.ID), slog.Int64("bitOps", bitOps)})...)
 	}
 }
 
@@ -259,12 +324,14 @@ func (r *Run) Finish(o Outcome, roots int, bitOps int64, rep metrics.Report) {
 			level = slog.LevelWarn
 		}
 		l.LogAttrs(context.Background(), level, "solve finish",
-			slog.Uint64("run", r.ID),
-			slog.String("kind", r.kind),
-			slog.String("outcome", string(o)),
-			slog.Int("roots", roots),
-			slog.Int64("bitOps", bitOps),
-			slog.Duration("elapsed", elapsed))
+			r.appendRequestID([]slog.Attr{
+				slog.Uint64("run", r.ID),
+				slog.String("kind", r.kind),
+				slog.String("outcome", string(o)),
+				slog.Int("roots", roots),
+				slog.Int64("bitOps", bitOps),
+				slog.Duration("elapsed", elapsed),
+			})...)
 	}
 }
 
@@ -294,10 +361,12 @@ func (r *Run) TaskPanic(worker int, tag string, v any) {
 	r.tel.flight.Event(r.ID, worker, "panic:"+tag, 0)
 	if l := r.tel.logger; l != nil {
 		l.LogAttrs(context.Background(), slog.LevelError, "task panic",
-			slog.Uint64("run", r.ID),
-			slog.Int("worker", worker),
-			slog.String("task", tag),
-			slog.Any("value", v))
+			r.appendRequestID([]slog.Attr{
+				slog.Uint64("run", r.ID),
+				slog.Int("worker", worker),
+				slog.String("task", tag),
+				slog.Any("value", v),
+			})...)
 	}
 }
 
@@ -310,8 +379,10 @@ func (r *Run) TaskRetry(tag string, left int) {
 	r.tel.flight.Event(r.ID, ControlLane, "retry:"+tag, int64(left))
 	if l := r.tel.logger; l != nil {
 		l.LogAttrs(context.Background(), slog.LevelWarn, "task retry",
-			slog.Uint64("run", r.ID),
-			slog.String("task", tag),
-			slog.Int("attemptsLeft", left))
+			r.appendRequestID([]slog.Attr{
+				slog.Uint64("run", r.ID),
+				slog.String("task", tag),
+				slog.Int("attemptsLeft", left),
+			})...)
 	}
 }

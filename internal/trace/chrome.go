@@ -52,6 +52,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		return fmt.Errorf("trace: WriteChrome on nil Tracer")
 	}
 	var events []chromeEvent
+	reqID := t.RequestID()
 	for _, l := range t.Lanes() {
 		tid := chromeTid(l.ID)
 		events = append(events, chromeEvent{
@@ -77,8 +78,14 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				Pid:  1,
 				Tid:  tid,
 			}
-			if s.Wait > 0 {
-				ev.Args = map[string]any{"wait_us": float64(s.Wait.Nanoseconds()) / micros}
+			if s.Wait > 0 || reqID != "" {
+				ev.Args = map[string]any{}
+				if s.Wait > 0 {
+					ev.Args["wait_us"] = float64(s.Wait.Nanoseconds()) / micros
+				}
+				if reqID != "" {
+					ev.Args["requestId"] = reqID
+				}
 			}
 			events = append(events, ev)
 		}

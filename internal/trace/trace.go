@@ -95,14 +95,37 @@ type Lane struct {
 type Tracer struct {
 	epoch time.Time
 
-	mu       sync.Mutex
-	lanes    map[int]*Lane
-	counters []Counter
+	mu        sync.Mutex
+	lanes     map[int]*Lane
+	counters  []Counter
+	requestID string
 }
 
 // New returns an empty Tracer whose epoch is the current time.
 func New() *Tracer {
 	return &Tracer{epoch: time.Now(), lanes: make(map[int]*Lane)}
+}
+
+// SetRequestID tags the tracer with the request that owns the traced
+// run; the Chrome export stamps it on every span so a trace viewed
+// days later still names the request it belongs to. No-op on nil.
+func (t *Tracer) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.requestID = id
+	t.mu.Unlock()
+}
+
+// RequestID returns the tag set by SetRequestID ("" on nil).
+func (t *Tracer) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requestID
 }
 
 // Now returns the current offset from the tracer epoch. On a nil

@@ -183,6 +183,12 @@ type Options struct {
 	// to stay attached in production: its memory is bounded and nil
 	// (the default) adds no allocations to the solver hot path.
 	Telemetry *Telemetry
+	// RequestID, if non-empty, names the external request this solve
+	// serves (rootd forwards the client's X-Request-Id here). The ID is
+	// stamped on every observability sink the run touches — structured
+	// logs, flight-recorder events, trace spans, and scheduler panic
+	// errors — so one ID recovers the run from any of them.
+	RequestID string
 }
 
 // Tracer records wall-clock spans of a solver run; see Options.Tracer.
@@ -220,6 +226,7 @@ func (o *Options) coreOptions() core.Options {
 	opts.MaxBitOps = o.MaxBitOps
 	opts.Tracer = o.Tracer
 	opts.Telemetry = o.Telemetry
+	opts.RequestID = o.RequestID
 	// Direct cast: out-of-range values survive the mapping and are
 	// rejected by core's option validation.
 	opts.Profile = mp.Profile(o.Profile)
@@ -477,7 +484,14 @@ func FindRealRootsContext(ctx context.Context, coeffs []*big.Int, opts *Options)
 	}
 	ctx, cancel := withTimeout(ctx, opts)
 	defer cancel()
-	run := co.Telemetry.RunStart("sturm", p.Degree(), co.Mu, 1)
+	co.Tracer.SetRequestID(co.RequestID)
+	run := co.Telemetry.Start(telemetry.RunInfo{
+		Kind:      "sturm",
+		Degree:    p.Degree(),
+		Mu:        co.Mu,
+		Workers:   1,
+		RequestID: co.RequestID,
+	})
 	var counters metrics.Counters
 	counters.SetBudget(co.MaxBitOps, func() { run.BudgetExhausted(counters.BitOps()) })
 	stop := func() error {

@@ -92,6 +92,62 @@ func TestTelemetryConcurrentSolves(t *testing.T) {
 	}
 }
 
+// TestRequestIDThreeSinks stamps Options.RequestID on a solve and
+// recovers it from all three sinks — structured log, flight recorder,
+// and Chrome trace — for both the parallel pipeline and the Sturm
+// baseline.
+func TestRequestIDThreeSinks(t *testing.T) {
+	for _, tc := range []struct {
+		kind   string
+		coeffs []*big.Int
+	}{
+		{"core", []*big.Int{big.NewInt(30), big.NewInt(-23), big.NewInt(-8), big.NewInt(1)}},
+		{"sturm", []*big.Int{big.NewInt(-2), big.NewInt(0), big.NewInt(1)}},
+	} {
+		t.Run(tc.kind, func(t *testing.T) {
+			id := "root-req-" + tc.kind
+			var logBuf bytes.Buffer
+			tel := NewTelemetry(TelemetryConfig{
+				Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+			})
+			tr := NewTracer()
+			opts := &Options{Precision: 12, Workers: 2, Telemetry: tel, Tracer: tr, RequestID: id}
+			var err error
+			if tc.kind == "core" {
+				_, err = FindRoots(tc.coeffs, opts)
+			} else {
+				_, err = FindRealRoots(tc.coeffs, opts)
+			}
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+
+			if !strings.Contains(logBuf.String(), `"requestId":"`+id+`"`) {
+				t.Errorf("structured log does not carry requestId %q:\n%s", id, logBuf.String())
+			}
+
+			found := false
+			for _, r := range tel.Flight().Dump().Records {
+				if r.Name == "request_id:"+id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("flight recorder has no request_id event for %q", id)
+			}
+
+			var chrome bytes.Buffer
+			if err := tr.WriteChrome(&chrome); err != nil {
+				t.Fatalf("WriteChrome: %v", err)
+			}
+			if !strings.Contains(chrome.String(), `"requestId":"`+id+`"`) {
+				t.Errorf("chrome trace args do not carry requestId %q", id)
+			}
+		})
+	}
+}
+
 // TestTelemetryBudgetExhaustedPublic checks the budget trip is visible
 // through the public hub.
 func TestTelemetryBudgetExhaustedPublic(t *testing.T) {
