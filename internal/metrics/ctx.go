@@ -20,17 +20,30 @@ type Ctx struct {
 	C       *Counters
 	Phase   Phase
 	Profile mp.Profile
+	// Par, when non-nil, is the scheduler hook offered huge balanced
+	// products (the mp parallel multiplication path). Like Profile it is
+	// per-operation state, never a package global; a nil Par keeps every
+	// product serial. Results are bit-identical either way.
+	Par mp.Parallel
 }
 
 // In returns a copy of the context attributed to phase p.
-func (c Ctx) In(p Phase) Ctx { return Ctx{C: c.C, Phase: p, Profile: c.Profile} }
+func (c Ctx) In(p Phase) Ctx { return Ctx{C: c.C, Phase: p, Profile: c.Profile, Par: c.Par} }
 
-// recordMul logs one multiplication with its model and actual cost.
+// recordMul logs one multiplication with its model and actual cost,
+// plus — under Fast, the only profile with more than one kernel — the
+// tier it dispatches to and whether the parallel path engages.
 func (c Ctx) recordMul(xbits, ybits int) {
 	if c.C == nil {
 		return
 	}
 	c.C.AddMulCost(c.Phase, xbits, ybits, c.Profile.MulCost(xbits, ybits))
+	if c.Profile == mp.Fast {
+		c.C.AddMulTier(c.Phase, c.Profile.MulTier(xbits, ybits))
+		if c.Par != nil && c.Profile.MulParallelEngages(xbits, ybits) {
+			c.C.AddParMul(c.Phase)
+		}
+	}
 }
 
 // recordDiv logs one division with its model and actual cost.
@@ -44,18 +57,28 @@ func (c Ctx) recordDiv(xbits, ybits int) {
 // Mul returns a new Int holding x*y, recording the multiplication.
 func (c Ctx) Mul(x, y *mp.Int) *mp.Int {
 	c.recordMul(x.BitLen(), y.BitLen())
+	if c.Par != nil {
+		return new(mp.Int).MulParallelProfile(c.Profile, c.Par, x, y)
+	}
 	return new(mp.Int).MulProfile(c.Profile, x, y)
 }
 
 // MulInto sets z = x*y, recording the multiplication.
 func (c Ctx) MulInto(z, x, y *mp.Int) *mp.Int {
 	c.recordMul(x.BitLen(), y.BitLen())
+	if c.Par != nil {
+		return z.MulParallelProfile(c.Profile, c.Par, x, y)
+	}
 	return z.MulProfile(c.Profile, x, y)
 }
 
 // Sqr returns a new Int holding x², recording it as a multiplication.
 func (c Ctx) Sqr(x *mp.Int) *mp.Int {
-	c.recordMul(x.BitLen(), x.BitLen())
+	b := x.BitLen()
+	c.recordMul(b, b)
+	if c.Par != nil && c.Profile.MulParallelEngages(b, b) {
+		return new(mp.Int).MulParallelProfile(c.Profile, c.Par, x, x)
+	}
 	return new(mp.Int).SqrProfile(c.Profile, x)
 }
 

@@ -3,6 +3,8 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+
+	"realroots/internal/mp"
 )
 
 // JSON form of a Report: phases keyed by name (stable across phase
@@ -26,6 +28,11 @@ type phaseJSON struct {
 	MulBitsActual int64   `json:"mulBitsActual,omitempty"`
 	DivBitsActual int64   `json:"divBitsActual,omitempty"`
 	BitLen        []int64 `json:"bitlenHist,omitempty"`
+	// Tiers maps kernel-tier names to multiplication counts and ParMuls
+	// counts parallel-path products; both are omitted when zero (every
+	// schoolbook-profile report, and every pre-tier snapshot).
+	Tiers   map[string]int64 `json:"tiers,omitempty"`
+	ParMuls int64            `json:"parMuls,omitempty"`
 }
 
 func (p PhaseReport) toJSON() phaseJSON {
@@ -52,8 +59,26 @@ func (p PhaseReport) toJSON() phaseJSON {
 	if last >= 0 {
 		j.BitLen = append(j.BitLen, p.BitLen[:last+1]...)
 	}
+	for t, n := range p.Tiers {
+		if n != 0 {
+			if j.Tiers == nil {
+				j.Tiers = make(map[string]int64)
+			}
+			j.Tiers[mp.Tier(t).String()] = n
+		}
+	}
+	j.ParMuls = p.ParMuls
 	return j
 }
+
+// tierByName maps tier names back to their index.
+var tierByName = func() map[string]mp.Tier {
+	m := make(map[string]mp.Tier, mp.NumTiers)
+	for t := 0; t < mp.NumTiers; t++ {
+		m[mp.Tier(t).String()] = mp.Tier(t)
+	}
+	return m
+}()
 
 func (j phaseJSON) toReport() (PhaseReport, error) {
 	p := PhaseReport{
@@ -78,6 +103,14 @@ func (j phaseJSON) toReport() (PhaseReport, error) {
 		return p, fmt.Errorf("metrics: bitlenHist has %d buckets, max %d", len(j.BitLen), BitLenBuckets)
 	}
 	copy(p.BitLen[:], j.BitLen)
+	for name, n := range j.Tiers {
+		t, ok := tierByName[name]
+		if !ok {
+			return p, fmt.Errorf("metrics: unknown multiplication tier %q", name)
+		}
+		p.Tiers[t] = n
+	}
+	p.ParMuls = j.ParMuls
 	return p, nil
 }
 

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	mathbits "math/bits"
 	"sync/atomic"
+
+	"realroots/internal/mp"
 )
 
 // Phase identifies one of the algorithm's sub-computations. The phases
@@ -114,6 +116,15 @@ type Counters struct {
 	// multiplication and division, the log₂ bucket of the larger
 	// operand's bit length (see BitLenBuckets).
 	hist [NumPhases][BitLenBuckets]atomic.Int64
+
+	// tiers counts multiplications by the kernel tier they dispatched
+	// to (mp.Profile.MulTier), and parMuls counts products that took
+	// the parallel panel path. Both are recorded only under the Fast
+	// profile — schoolbook runs have a single implicit tier, and
+	// leaving them untouched keeps paper-mode reports byte-identical
+	// to pre-tier snapshots.
+	tiers   [NumPhases][mp.NumTiers]atomic.Int64
+	parMuls [NumPhases]atomic.Int64
 
 	// Budget enforcement (see SetBudget): bitOps aggregates
 	// mulBits+divBits across all phases so the limit check is one
@@ -219,6 +230,25 @@ func (c *Counters) AddDivCost(p Phase, xbits, ybits int, actual int64) {
 	c.noteBits(bits)
 }
 
+// AddMulTier attributes one multiplication in phase p to kernel tier t.
+// Callers record tiers only for profiles with more than one tier (Fast);
+// see the tiers field.
+func (c *Counters) AddMulTier(p Phase, t mp.Tier) {
+	if c == nil || int(t) >= mp.NumTiers {
+		return
+	}
+	c.tiers[p][t].Add(1)
+}
+
+// AddParMul records that one multiplication in phase p took the
+// parallel panel path.
+func (c *Counters) AddParMul(p Phase) {
+	if c == nil {
+		return
+	}
+	c.parMuls[p].Add(1)
+}
+
 // AddAdd records one addition or subtraction in phase p.
 func (c *Counters) AddAdd(p Phase) {
 	if c == nil {
@@ -253,6 +283,10 @@ func (c *Counters) Reset() {
 		for b := 0; b < BitLenBuckets; b++ {
 			c.hist[p][b].Store(0)
 		}
+		for t := 0; t < mp.NumTiers; t++ {
+			c.tiers[p][t].Store(0)
+		}
+		c.parMuls[p].Store(0)
 	}
 	c.bitOps.Store(0)
 	c.tripped.Store(false)
@@ -278,6 +312,11 @@ type PhaseReport struct {
 	// operations whose larger operand's bit length falls in
 	// BucketRange(b).
 	BitLen [BitLenBuckets]int64
+	// Tiers counts the phase's multiplications by dispatch tier and
+	// ParMuls the products that took the parallel panel path; both are
+	// zero outside the Fast profile (see Counters.tiers).
+	Tiers   [mp.NumTiers]int64
+	ParMuls int64
 }
 
 // Ops returns the phase's combined multiplication + division count
@@ -309,6 +348,10 @@ func (c *Counters) Snapshot() Report {
 		for b := 0; b < BitLenBuckets; b++ {
 			pr.BitLen[b] = c.hist[p][b].Load()
 		}
+		for t := 0; t < mp.NumTiers; t++ {
+			pr.Tiers[t] = c.tiers[p][t].Load()
+		}
+		pr.ParMuls = c.parMuls[p].Load()
 		r.Phases[p] = pr
 	}
 	return r
@@ -327,6 +370,10 @@ func (t *PhaseReport) accum(p PhaseReport) {
 	for b := 0; b < BitLenBuckets; b++ {
 		t.BitLen[b] += p.BitLen[b]
 	}
+	for i := 0; i < mp.NumTiers; i++ {
+		t.Tiers[i] += p.Tiers[i]
+	}
+	t.ParMuls += p.ParMuls
 }
 
 // Total returns the sum of all phases' counters.
@@ -394,6 +441,10 @@ func (r Report) Sub(old Report) Report {
 		for bk := 0; bk < BitLenBuckets; bk++ {
 			pr.BitLen[bk] = a.BitLen[bk] - b.BitLen[bk]
 		}
+		for t := 0; t < mp.NumTiers; t++ {
+			pr.Tiers[t] = a.Tiers[t] - b.Tiers[t]
+		}
+		pr.ParMuls = a.ParMuls - b.ParMuls
 		d.Phases[p] = pr
 	}
 	return d

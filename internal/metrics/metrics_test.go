@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 
@@ -244,5 +246,99 @@ func TestCtxProfileDispatch(t *testing.T) {
 	// In(p) must preserve the profile.
 	if got := (Ctx{Profile: mp.Fast}).In(PhaseSort).Profile; got != mp.Fast {
 		t.Errorf("In dropped the profile: %v", got)
+	}
+}
+
+// TestTierRecording checks that Fast-profile multiplications are
+// attributed to their dispatch tier, that schoolbook runs record no
+// tiers (keeping paper-mode reports identical to pre-tier snapshots),
+// and that the counters survive Add/Sub and the JSON round trip.
+func TestTierRecording(t *testing.T) {
+	var c Counters
+	fast := Ctx{C: &c, Phase: PhaseTree, Profile: mp.Fast}
+	a, b := new(mp.Int).SetInt64(1), new(mp.Int).SetInt64(1)
+	a.Lsh(a, 5000) // ~5000 bits: packed-karatsuba territory
+	b.Lsh(b, 4999)
+	fast.Mul(a, b)
+	fast.Mul(new(mp.Int).SetInt64(3), new(mp.Int).SetInt64(5)) // tiny: schoolbook tier
+
+	rep := c.Snapshot()
+	tr := rep.Phases[PhaseTree]
+	if got := tr.Tiers[mp.TierKaratsuba]; got != 1 {
+		t.Errorf("karatsuba tier count = %d, want 1 (tiers %v)", got, tr.Tiers)
+	}
+	if got := tr.Tiers[mp.TierSchoolbook]; got != 1 {
+		t.Errorf("schoolbook tier count = %d, want 1 (tiers %v)", got, tr.Tiers)
+	}
+	if tr.ParMuls != 0 {
+		t.Errorf("ParMuls = %d without a Par hook", tr.ParMuls)
+	}
+
+	// Schoolbook profile records no tiers at all.
+	var s Counters
+	paper := Ctx{C: &s, Phase: PhaseTree, Profile: mp.Schoolbook}
+	paper.Mul(a, b)
+	if tiers := s.Snapshot().Phases[PhaseTree].Tiers; tiers != ([mp.NumTiers]int64{}) {
+		t.Errorf("schoolbook profile recorded tiers %v", tiers)
+	}
+
+	// Add folds tiers; Sub inverts it.
+	sum := rep.Add(rep)
+	if got := sum.Phases[PhaseTree].Tiers[mp.TierKaratsuba]; got != 2 {
+		t.Errorf("Add tier count = %d, want 2", got)
+	}
+	if diff := sum.Sub(rep); diff.Phases[PhaseTree].Tiers != tr.Tiers {
+		t.Errorf("Sub tiers = %v, want %v", diff.Phases[PhaseTree].Tiers, tr.Tiers)
+	}
+}
+
+// TestTierJSONRoundTrip pins the wire form: tier counts appear keyed by
+// name under Fast, are absent from schoolbook reports, and round-trip.
+func TestTierJSONRoundTrip(t *testing.T) {
+	var c Counters
+	c.AddMulTier(PhaseTree, mp.TierToom3)
+	c.AddMulTier(PhaseTree, mp.TierToom3)
+	c.AddMulTier(PhaseTree, mp.TierNTT)
+	c.AddParMul(PhaseTree)
+	c.AddMul(PhaseTree, 8, 8)
+	rep := c.Snapshot()
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tiers":{`) || !strings.Contains(string(data), `"toom3":2`) {
+		t.Errorf("tier counts missing from JSON: %s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Phases[PhaseTree].Tiers != rep.Phases[PhaseTree].Tiers {
+		t.Errorf("round trip tiers = %v, want %v", back.Phases[PhaseTree].Tiers, rep.Phases[PhaseTree].Tiers)
+	}
+	if back.Phases[PhaseTree].ParMuls != 1 {
+		t.Errorf("round trip parMuls = %d, want 1", back.Phases[PhaseTree].ParMuls)
+	}
+
+	// A tier-free report must not mention tiers at all (old readers and
+	// old snapshots stay compatible both ways).
+	var s Counters
+	s.AddMul(PhaseTree, 8, 8)
+	plain, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "tiers") || strings.Contains(string(plain), "parMuls") {
+		t.Errorf("tier-free report leaks tier fields: %s", plain)
+	}
+	if err := json.Unmarshal(plain, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown tier names are schema drift, not silence.
+	bad := []byte(`{"phases":{"tree":{"muls":1,"tiers":{"quantum":1}}}}`)
+	if err := json.Unmarshal(bad, &back); err == nil {
+		t.Error("unknown tier name accepted")
 	}
 }

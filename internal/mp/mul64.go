@@ -117,18 +117,29 @@ func mul64Basic(x, y []uint64) []uint64 {
 	return norm64(z)
 }
 
-// mul64 multiplies packed operands: block decomposition for unbalanced
-// shapes, Karatsuba above kar64Threshold — the same structure as
-// natMulFast, one word size up.
-func mul64(x, y []uint64) []uint64 {
+// mul64 multiplies packed operands under the Fast profile's measured
+// tier table.
+func mul64(x, y []uint64) []uint64 { return mul64t(x, y, fastTiers) }
+
+// mul64t multiplies packed operands, dispatching on the tier table:
+// block decomposition for unbalanced shapes (the same structure as
+// natMulFast, one word size up), then — by the shorter operand's size —
+// the schoolbook row loop, Karatsuba, Toom-3, or the three-prime NTT.
+// Threading the table as a parameter keeps tier selection a pure
+// function of the call (benchmarks compare tables directly; no package
+// state), and recursive products re-tier on their own, smaller sizes.
+func mul64t(x, y []uint64, tab tierTable) []uint64 {
 	if len(x) < len(y) {
 		x, y = y, x
 	}
-	if len(y) < kar64Threshold {
+	if len(y) < tab.kar {
+		if tab.count != nil {
+			*tab.count += int64(len(x)) * int64(len(y))
+		}
 		return mul64Basic(x, y)
 	}
-	z := make([]uint64, len(x)+len(y))
 	if len(x) > 2*len(y) {
+		z := make([]uint64, len(x)+len(y))
 		b := len(y)
 		for i := 0; i < len(x); i += b {
 			hi := i + b
@@ -139,11 +150,23 @@ func mul64(x, y []uint64) []uint64 {
 			if len(blk) == 0 {
 				continue
 			}
-			accumAt64(z, mul64(blk, y), i)
+			accumAt64(z, mul64t(blk, y, tab), i)
 		}
 		return norm64(z)
 	}
+	if tab.ntt > 0 && len(y) >= tab.ntt && nttWorthwhile(len(x), len(y)) {
+		if z := nttMul64(x, y, tab); z != nil {
+			return z
+		}
+	}
+	// Toom-3 splits by the longer operand, so a near-2× shape leaves
+	// the shorter one's top part almost empty and wastes an evaluation;
+	// require ≤4:3 imbalance and leave the rest to Karatsuba.
+	if tab.toom3 > 0 && len(y) >= tab.toom3 && 3*len(x) <= 4*len(y) {
+		return toom3Mul64(x, y, tab)
+	}
 
+	z := make([]uint64, len(x)+len(y))
 	m := (len(x) + 1) / 2
 	x0 := norm64(x[:m])
 	x1 := norm64(x[m:])
@@ -155,12 +178,12 @@ func mul64(x, y []uint64) []uint64 {
 		y0 = y // degenerate split: y1 = 0
 	}
 
-	z0 := mul64(x0, y0)
+	z0 := mul64t(x0, y0, tab)
 	var z2 []uint64
 	if len(x1) > 0 && len(y1) > 0 {
-		z2 = mul64(x1, y1)
+		z2 = mul64t(x1, y1, tab)
 	}
-	s := mul64(add64(x0, x1), add64(y0, y1)) // z0 + z2 + x0·y1 + x1·y0
+	s := mul64t(add64(x0, x1), add64(y0, y1), tab) // z0 + z2 + x0·y1 + x1·y0
 
 	// Same assembly as natMulFast: reduce s to the middle term in its
 	// own buffer, then compose disjoint copies plus one accumulation.

@@ -627,7 +627,18 @@ func (s *Server) failRetry(w http.ResponseWriter, start time.Time, tenant, reqID
 	}
 	status := statusFor(re.Code)
 	var retrySec int64
-	if retry > 0 {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// A retryable status always advertises at least one second: the
+		// limiter's backoff can be microseconds when the next token is
+		// nearly accrued, and a "Retry-After: 0" (or an absent header
+		// with retryAfterSeconds 0 in the body) turns a well-behaved
+		// client's honor-the-header loop into a busy retry storm.
+		retrySec = int64(math.Ceil(retry.Seconds()))
+		if retrySec < 1 {
+			retrySec = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retrySec, 10))
+	} else if retry > 0 {
 		retrySec = int64(math.Ceil(retry.Seconds()))
 		w.Header().Set("Retry-After", strconv.FormatInt(retrySec, 10))
 	}

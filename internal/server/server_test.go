@@ -436,3 +436,41 @@ func TestSolveInProcess(t *testing.T) {
 		t.Fatalf("profile=%s roots=%d, want fast/2", out.Profile, len(out.Roots))
 	}
 }
+
+// TestRetryAfterClamp is the regression pin for the Retry-After bug: a
+// retryable failure whose computed backoff rounds below one second —
+// including the zero duration a nearly-replenished token bucket can
+// hand failRetry — must still advertise Retry-After: 1 in both the
+// header and the body, never 0 or a missing header (clients honoring a
+// zero would retry in a busy loop).
+func TestRetryAfterClamp(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	for _, retry := range []time.Duration{0, time.Microsecond, 300 * time.Millisecond} {
+		w := httptest.NewRecorder()
+		s.failRetry(w, time.Now(), "alice", "req-clamp", &RequestError{Code: CodeRateLimited, Msg: "slow down"}, retry)
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("retry=%v: status = %d, want 429", retry, w.Code)
+		}
+		if hdr := w.Result().Header.Get("Retry-After"); hdr != "1" {
+			t.Errorf("retry=%v: Retry-After header = %q, want \"1\"", retry, hdr)
+		}
+		if e := decodeErr(t, w.Body.Bytes()); e.RetryAfterSeconds != 1 {
+			t.Errorf("retry=%v: body retryAfterSeconds = %d, want 1", retry, e.RetryAfterSeconds)
+		}
+	}
+	// Backoffs of a second or more pass through, rounded up.
+	w := httptest.NewRecorder()
+	s.failRetry(w, time.Now(), "alice", "req-long", &RequestError{Code: CodeRateLimited, Msg: "slow down"}, 2500*time.Millisecond)
+	if hdr := w.Result().Header.Get("Retry-After"); hdr != "3" {
+		t.Errorf("Retry-After header = %q, want \"3\"", hdr)
+	}
+	// Non-retryable statuses advertise nothing.
+	w = httptest.NewRecorder()
+	s.failRetry(w, time.Now(), "", "req-400", &RequestError{Code: CodeBadRequest, Msg: "no"}, 0)
+	if hdr := w.Result().Header.Get("Retry-After"); hdr != "" {
+		t.Errorf("400 carries Retry-After %q", hdr)
+	}
+	if e := decodeErr(t, w.Body.Bytes()); e.RetryAfterSeconds != 0 {
+		t.Errorf("400 body retryAfterSeconds = %d, want 0", e.RetryAfterSeconds)
+	}
+}

@@ -118,11 +118,19 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Load()
 }
 
-// Quantile estimates the qth quantile (0 ≤ q ≤ 1) by linear
-// interpolation within the bucket holding the target rank — the same
-// estimate a Prometheus histogram_quantile would produce from the
-// exposition. Observations in the +Inf bucket clamp to the highest
-// finite bound. Returns 0 on an empty histogram.
+// Quantile estimates the qth quantile by linear interpolation within
+// the bucket holding the target rank — the same estimate a Prometheus
+// histogram_quantile would produce from the exposition.
+//
+// The contract at the edges: an empty histogram (or nil receiver)
+// returns 0; q ≤ 0 and NaN return the lower edge of the first
+// non-empty bucket; q ≥ 1 returns the upper edge of the highest
+// non-empty bucket; and observations in the +Inf overflow bucket clamp
+// to the highest finite bound (their true magnitude is unknown).
+// Out-of-range q used to extrapolate instead — q > 1 walked off the
+// ladder and reported its top bound even when every observation sat in
+// the first bucket, and q < 0 interpolated below a bucket's lower edge
+// into negative latency (pinned by TestQuantileEdgeCases).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -130,6 +138,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(total)
 	var cum float64

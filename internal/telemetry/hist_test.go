@@ -217,3 +217,51 @@ func TestValidateExpositionHistogramRejects(t *testing.T) {
 		t.Errorf("valid histogram with exemplar rejected: %v", err)
 	}
 }
+
+// TestQuantileEdgeCases pins the Quantile contract at the edges: the
+// old code extrapolated out-of-range q — Quantile(q > 1) walked off the
+// end of the ladder and returned its top bound even when every
+// observation sat in the first bucket, and Quantile(q < 0) interpolated
+// below the bucket's lower edge into a negative latency.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5, "") // all mass in the (1,2] bucket
+	}
+	// q ≥ 1 is the upper edge of the highest non-empty bucket — not the
+	// ladder's top bound (4), which nothing ever reached.
+	for _, q := range []float64{1, 1.5, 100} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%v) = %v, want 2 (upper edge of occupied bucket)", q, got)
+		}
+	}
+	// q ≤ 0 and NaN are the lower edge of the first non-empty bucket;
+	// in particular never negative.
+	for _, q := range []float64{0, -0.5, math.NaN()} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %v, want 1 (lower edge of occupied bucket)", q, got)
+		}
+	}
+	// An empty (but non-nil) histogram returns 0 for every q.
+	e := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := e.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// All mass in the overflow bucket clamps to the top finite bound for
+	// every q, including the edges.
+	over := NewHistogram([]float64{1, 2, 4})
+	over.Observe(50, "")
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := over.Quantile(q); got != 4 {
+			t.Errorf("overflow Quantile(%v) = %v, want clamp to 4", q, got)
+		}
+	}
+	// A histogram with no finite buckets degenerates to 0.
+	none := NewHistogram(nil)
+	none.Observe(3, "")
+	if got := none.Quantile(0.5); got != 0 {
+		t.Errorf("bucketless Quantile = %v, want 0", got)
+	}
+}
