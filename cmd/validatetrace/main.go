@@ -3,7 +3,9 @@
 // (rootbench -trace), flight-recorder dumps (rootbench -flight-out or
 // GET /debug/flight), Prometheus text expositions (rootbench
 // -metrics-out or GET /metrics), request-inspector dumps (GET
-// /debug/requests?format=json), and bench-grid JSON (rootbench -json).
+// /debug/requests?format=json), tail-sampled trace stores (GET
+// /debug/traces?format=json), per-tenant usage ledgers (GET
+// /debug/tenants?format=json), and bench-grid JSON (rootbench -json).
 // The file kind is sniffed from the content, so CI can pass all of them
 // in one call.
 //
@@ -55,6 +57,10 @@ func validateFile(path string) (kind string, err error) {
 	case bytes.Contains(data, []byte(telemetry.RequestsSchema)):
 		_, err := telemetry.ValidateRequestsJSON(data)
 		return "requests-dump", err
+	case bytes.Contains(data, []byte(trace.StoreSchema)):
+		return "trace-store", trace.ValidateStoreJSON(data)
+	case bytes.Contains(data, []byte(telemetry.TenantsSchema)):
+		return "tenants-dump", telemetry.ValidateTenantsJSON(data)
 	case bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("# HELP")):
 		return "prometheus-exposition", telemetry.ValidateExposition(data)
 	default:

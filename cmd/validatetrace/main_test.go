@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"realroots/internal/harness"
 	"realroots/internal/telemetry"
+	"realroots/internal/trace"
 )
 
 func writeTemp(t *testing.T, name string, data []byte) string {
@@ -45,6 +47,19 @@ func TestValidateFileSniffsKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Trace store (empty is valid) and tenant ledger dumps.
+	var storeDump bytes.Buffer
+	if err := json.NewEncoder(&storeDump).Encode(trace.NewStore(0).Dump()); err != nil {
+		t.Fatal(err)
+	}
+	led := telemetry.NewTenantLedger(0)
+	led.AddRequest("acme")
+	led.AddSolve("acme", 0.25, 1000)
+	var tenantsDump bytes.Buffer
+	if err := json.NewEncoder(&tenantsDump).Encode(led.Dump()); err != nil {
+		t.Fatal(err)
+	}
+
 	cases := []struct {
 		name string
 		data []byte
@@ -53,6 +68,8 @@ func TestValidateFileSniffsKinds(t *testing.T) {
 		{"flight.json", flight.Bytes(), "flight-dump"},
 		{"metrics.prom", expo.Bytes(), "prometheus-exposition"},
 		{"grid.json", grid.Bytes(), "bench-grid"},
+		{"traces.json", storeDump.Bytes(), "trace-store"},
+		{"tenants.json", tenantsDump.Bytes(), "tenants-dump"},
 	}
 	for _, tc := range cases {
 		kind, err := validateFile(writeTemp(t, tc.name, tc.data))
@@ -79,5 +96,57 @@ func TestValidateFileRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := validateFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("missing file validated")
+	}
+}
+
+// TestValidateFileRejectsMalformedStoreAndTenants is the malformed-input
+// table for the two schemas this PR adds: each case sniffs to the right
+// kind (the schema string is present) but must fail validation.
+func TestValidateFileRejectsMalformedStoreAndTenants(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"store-not-json", `realroots/trace-store/v1 this is not json`},
+		{"store-zero-capacity", `{"schema":"realroots/trace-store/v1","capacity":0,"traces":[]}`},
+		{"store-retained-undercount", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":0,
+			"byReason":{"error":1},
+			"traces":[{"seq":1,"requestId":"r1","outcome":"error","reason":"error","wallSeconds":0.1}]}`},
+		{"store-seq-zero", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":1,
+			"byReason":{"error":1},
+			"traces":[{"seq":0,"requestId":"r1","outcome":"error","reason":"error","wallSeconds":0.1}]}`},
+		{"store-not-newest-first", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":2,"retained":2,
+			"byReason":{"error":2},
+			"traces":[{"seq":1,"requestId":"a","outcome":"error","reason":"error"},
+			          {"seq":2,"requestId":"b","outcome":"error","reason":"error"}]}`},
+		{"store-missing-reason", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":1,
+			"byReason":{},
+			"traces":[{"seq":1,"requestId":"r1","outcome":"error","reason":"","wallSeconds":0.1}]}`},
+		{"store-reason-not-indexed", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":1,
+			"byReason":{"slow":1},
+			"traces":[{"seq":1,"requestId":"r1","outcome":"error","reason":"error","wallSeconds":0.1}]}`},
+		{"store-negative-wall", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":1,
+			"byReason":{"error":1},
+			"traces":[{"seq":1,"requestId":"r1","outcome":"error","reason":"error","wallSeconds":-1}]}`},
+		{"store-serial-fraction-above-one", `{"schema":"realroots/trace-store/v1","capacity":4,"seen":1,"retained":1,
+			"byReason":{"error":1},
+			"traces":[{"seq":1,"requestId":"r1","outcome":"error","reason":"error","serialFraction":1.5}]}`},
+		{"tenants-not-json", `realroots/tenants/v1 {{{`},
+		{"tenants-zero-cap", `{"schema":"realroots/tenants/v1","maxTenants":0,"tenants":[]}`},
+		{"tenants-empty-id", `{"schema":"realroots/tenants/v1","maxTenants":64,
+			"tenants":[{"tenant":"","requests":1}]}`},
+		{"tenants-unsorted", `{"schema":"realroots/tenants/v1","maxTenants":64,
+			"tenants":[{"tenant":"b","requests":1},{"tenant":"a","requests":1}]}`},
+		{"tenants-duplicate", `{"schema":"realroots/tenants/v1","maxTenants":64,
+			"tenants":[{"tenant":"a","requests":1},{"tenant":"a","requests":1}]}`},
+		{"tenants-negative-counter", `{"schema":"realroots/tenants/v1","maxTenants":64,
+			"tenants":[{"tenant":"a","requests":-1}]}`},
+		{"tenants-overaccounted", `{"schema":"realroots/tenants/v1","maxTenants":64,
+			"tenants":[{"tenant":"a","requests":1,"cacheHits":1,"rejections":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := validateFile(writeTemp(t, tc.name+".json", []byte(tc.data))); err == nil {
+			t.Errorf("%s: malformed input validated", tc.name)
+		}
 	}
 }

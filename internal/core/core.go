@@ -264,7 +264,11 @@ func findRootsSquarefree(p *poly.Poly, opts Options) (*Result, error) {
 	}
 	res, err := findRootsPipeline(p, opts, counters, run)
 	if run != nil {
-		if opts.Tracer != nil {
+		// Summarize sorts every lane's intervals; with always-on
+		// serving-path tracing this runs on every solve, so skip the
+		// work entirely when nothing was recorded (e.g. a degree-1
+		// short-circuit or a capped-out tracer).
+		if opts.Tracer != nil && opts.Tracer.SpanCount() > 0 {
 			run.Utilization(opts.Tracer.Summarize())
 		}
 		nroots := 0

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -43,15 +44,15 @@ func Loadtest(w io.Writer, cfg Config) error {
 		tenants = 4
 	}
 
+	maxProcs := 1
+	for _, p := range cfg.Procs {
+		if p > maxProcs {
+			maxProcs = p
+		}
+	}
 	baseURL := cfg.ServerURL
 	target := baseURL
 	if baseURL == "" {
-		maxProcs := 1
-		for _, p := range cfg.Procs {
-			if p > maxProcs {
-				maxProcs = p
-			}
-		}
 		srv := server.New(server.Config{
 			MaxConcurrent:   maxProcs * 2,
 			MaxQueue:        len(cfg.Degrees) * len(cfg.Mus) * len(cfg.Procs) * perCell,
@@ -131,73 +132,81 @@ func Loadtest(w io.Writer, cfg Config) error {
 
 	type sample struct {
 		cell    int
+		tenant  string
 		latency time.Duration
 		resp    *server.SolveResponse
 		errCode string
 		poly    bool
 	}
-	samples := make([]sample, len(reqs))
-	work := make(chan int)
-	var wg sync.WaitGroup
 	client := &http.Client{Timeout: 5 * time.Minute}
 	defer client.CloseIdleConnections()
-	sweepStart := time.Now()
-	for g := 0; g < concurrency; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/solve",
-					strings.NewReader(reqs[i].body))
-				if err != nil {
-					samples[i] = sample{cell: reqs[i].cell, errCode: "transport", poly: reqs[i].poly}
-					continue
-				}
-				hreq.Header.Set("Content-Type", "application/json")
-				hreq.Header.Set("X-Request-Id", reqs[i].id)
-				start := time.Now()
-				resp, err := client.Do(hreq)
-				latency := time.Since(start)
-				s := sample{cell: reqs[i].cell, latency: latency, poly: reqs[i].poly}
-				if err != nil {
-					s.errCode = "transport"
-				} else {
-					data, rerr := io.ReadAll(resp.Body)
-					resp.Body.Close()
-					switch {
-					case rerr != nil:
+	// issue replays the full request set against url with the configured
+	// client concurrency. It is run once for the report and (in-process
+	// only) once more against a tracing-disabled twin server for the A/B
+	// overhead line.
+	issue := func(url string) ([]sample, time.Duration, bool) {
+		samples := make([]sample, len(reqs))
+		work := make(chan int)
+		var wg sync.WaitGroup
+		sweepStart := time.Now()
+		for g := 0; g < concurrency; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					hreq, err := http.NewRequest(http.MethodPost, url+"/v1/solve",
+						strings.NewReader(reqs[i].body))
+					if err != nil {
+						samples[i] = sample{cell: reqs[i].cell, tenant: reqs[i].tenant, errCode: "transport", poly: reqs[i].poly}
+						continue
+					}
+					hreq.Header.Set("Content-Type", "application/json")
+					hreq.Header.Set("X-Request-Id", reqs[i].id)
+					start := time.Now()
+					resp, err := client.Do(hreq)
+					latency := time.Since(start)
+					s := sample{cell: reqs[i].cell, tenant: reqs[i].tenant, latency: latency, poly: reqs[i].poly}
+					if err != nil {
 						s.errCode = "transport"
-					case resp.StatusCode == http.StatusOK:
-						var out server.SolveResponse
-						if jerr := json.Unmarshal(data, &out); jerr != nil {
+					} else {
+						data, rerr := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						switch {
+						case rerr != nil:
 							s.errCode = "transport"
-						} else {
-							s.resp = &out
-						}
-					default:
-						var eresp server.ErrorResponse
-						if jerr := json.Unmarshal(data, &eresp); jerr != nil || eresp.Error.Code == "" {
-							s.errCode = "untyped"
-						} else {
-							s.errCode = eresp.Error.Code
+						case resp.StatusCode == http.StatusOK:
+							var out server.SolveResponse
+							if jerr := json.Unmarshal(data, &out); jerr != nil {
+								s.errCode = "transport"
+							} else {
+								s.resp = &out
+							}
+						default:
+							var eresp server.ErrorResponse
+							if jerr := json.Unmarshal(data, &eresp); jerr != nil || eresp.Error.Code == "" {
+								s.errCode = "untyped"
+							} else {
+								s.errCode = eresp.Error.Code
+							}
 						}
 					}
+					samples[i] = s
 				}
-				samples[i] = s
-			}
-		}()
-	}
-	interruptedEarly := false
-	for i := range reqs {
-		if err := cfg.interrupted(); err != nil {
-			interruptedEarly = true
-			break
+			}()
 		}
-		work <- i
+		interrupted := false
+		for i := range reqs {
+			if err := cfg.interrupted(); err != nil {
+				interrupted = true
+				break
+			}
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		return samples, time.Since(sweepStart), interrupted
 	}
-	close(work)
-	wg.Wait()
-	sweepWall := time.Since(sweepStart)
+	samples, sweepWall, interruptedEarly := issue(baseURL)
 
 	// Fold samples into cells. Per-cell latency distributions use the
 	// same fixed-bucket histogram the server exposes on /metrics, so
@@ -211,13 +220,26 @@ func Loadtest(w io.Writer, cfg Config) error {
 		resp     *server.SolveResponse
 		respPoly bool
 	}
+	type tenantStats struct {
+		hist     *telemetry.Histogram
+		requests int
+		errors   int
+	}
 	stats := make([]cellStats, len(cells))
+	perTenant := make(map[string]*tenantStats, tenants)
 	totalReqs, totalErrs, uniqueSolves, sharedResults := 0, 0, 0, 0
 	for _, s := range samples {
 		if s.latency == 0 && s.resp == nil && s.errCode == "" {
 			continue // request never issued (interrupted)
 		}
 		totalReqs++
+		ts := perTenant[s.tenant]
+		if ts == nil {
+			ts = &tenantStats{hist: telemetry.NewHistogram(telemetry.SecondsBuckets)}
+			perTenant[s.tenant] = ts
+		}
+		ts.hist.Observe(s.latency.Seconds(), "")
+		ts.requests++
 		cs := &stats[s.cell]
 		if cs.hist == nil {
 			cs.hist = telemetry.NewHistogram(telemetry.SecondsBuckets)
@@ -227,6 +249,7 @@ func Loadtest(w io.Writer, cfg Config) error {
 		cs.requests++
 		if s.resp == nil {
 			cs.errors++
+			ts.errors++
 			totalErrs++
 			continue
 		}
@@ -285,8 +308,70 @@ func Loadtest(w io.Writer, cfg Config) error {
 		}
 	}
 	tw.Flush()
+
+	// Per-tenant breakdown: the client-side view of the server's
+	// /debug/tenants ledger. Request and error counts are deterministic
+	// (round-robin assignment); latency columns are measurements. Which
+	// tenant leads a cached solve is a scheduling race, so solve/hit
+	// splits are deliberately left to the server-side ledger.
+	fmt.Fprintln(w, "per-tenant:")
+	tw = tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\treq\terr\tp50(ms)\tp99(ms)")
+	for k := 0; k < tenants; k++ {
+		name := fmt.Sprintf("tenant%d", k)
+		ts := perTenant[name]
+		if ts == nil {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\n", name, ts.requests, ts.errors,
+			ts.hist.Quantile(0.50)*1e3, ts.hist.Quantile(0.99)*1e3)
+	}
+	tw.Flush()
+
 	fmt.Fprintf(w, "total: %d requests (%d solved, %d cache-shared), %d errors, %.1f req/s overall\n",
 		totalReqs, uniqueSolves, sharedResults, totalErrs, float64(totalReqs)/sweepWall.Seconds())
+
+	// Tracing A/B: replay the identical request set against a twin
+	// in-process server with tracing disabled and compare exact median
+	// latencies, recording the always-on tracing overhead in the bench
+	// output. Skipped against an external server (its tracing config is
+	// not ours to change) or after an interrupt.
+	if cfg.ServerURL == "" && !interruptedEarly {
+		twin := server.New(server.Config{
+			MaxConcurrent:   maxProcs * 2,
+			MaxQueue:        len(cells) * perCell,
+			WorkersPerSolve: maxProcs,
+			CacheEntries:    1024,
+			DefaultProfile:  cfg.Profile,
+			DisableTracing:  true,
+		})
+		running, err := twin.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("loadtest: starting tracing-disabled twin: %w", err)
+		}
+		twinSamples, _, _ := issue(running.URL())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		running.Close(ctx)
+		cancel()
+		median := func(ss []sample) float64 {
+			var lats []float64
+			for _, s := range ss {
+				if s.errCode == "" && s.resp != nil {
+					lats = append(lats, s.latency.Seconds())
+				}
+			}
+			if len(lats) == 0 {
+				return 0
+			}
+			sort.Float64s(lats)
+			return lats[len(lats)/2]
+		}
+		on, off := median(samples), median(twinSamples)
+		if on > 0 && off > 0 {
+			fmt.Fprintf(w, "tracing overhead: p50 %.3f ms traced vs %.3f ms untraced (%.1f%%)\n",
+				on*1e3, off*1e3, (on/off-1)*100)
+		}
+	}
 
 	if cfg.LoadJSON != nil {
 		enc := json.NewEncoder(cfg.LoadJSON)
@@ -336,6 +421,14 @@ func ScrubExposition(expo []byte) string {
 		"rootd_solve_seconds_bucket{",
 		"rootd_solve_seconds_sum{",
 		"rootd_solve_seconds_count{",
+		// Per-phase wall histograms: series appear as each pipeline phase
+		// first completes, so the set depends on scheduling mid-load.
+		"rootd_phase_seconds_bucket{",
+		"rootd_phase_seconds_sum{",
+		"rootd_phase_seconds_count{",
+		// Per-tenant ledger families: a tenant's series appears with its
+		// first completed request.
+		"rootd_tenant_",
 	}
 	var out bytes.Buffer
 	for _, line := range strings.Split(string(expo), "\n") {

@@ -163,6 +163,13 @@ type SolveRequest struct {
 	// directly.
 	RequestID string `json:"-"`
 
+	// ForceTrace asks the tail sampler to retain this solve's trace
+	// unconditionally. Like RequestID it travels out-of-band (the
+	// X-Debug-Trace header, set by the HTTP handler) and is excluded
+	// from the cache key; it only takes effect when this request leads
+	// the solve, since cache hits run nothing worth tracing.
+	ForceTrace bool `json:"-"`
+
 	// Decoded payload, filled by DecodeSolveRequest.
 	coeffs []*big.Int
 	rows   [][]int64

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"realroots/internal/telemetry"
+	"realroots/internal/trace"
+)
+
+// obsConfig builds a server config with a telemetry hub wired for
+// tail-sampled tracing (small store, defaults otherwise).
+func obsConfig() Config {
+	return Config{
+		Telemetry: telemetry.New(telemetry.Config{TraceStoreCapacity: 16}),
+	}
+}
+
+const quadratic = `{"poly":{"coeffs":["-2","0","1"]},"precision":48}`
+
+// TestTraceRetainedOnError checks the tentpole acceptance path: a solve
+// that trips its bit-ops budget leaves an error-outcome trace in the
+// store, tagged with the error reason and exportable as a valid Chrome
+// trace.
+func TestTraceRetainedOnError(t *testing.T) {
+	cfg := obsConfig()
+	s, hs := newTestServer(t, cfg)
+
+	status, _, data := postSolve(t, hs.URL, `{"poly":{"coeffs":["-2","0","1"]},"precision":48,"maxBitOps":1}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("budget solve status %d, body %s", status, data)
+	}
+	if code := decodeErr(t, data).Code; code != CodeBudget {
+		t.Fatalf("error code %q, want %q", code, CodeBudget)
+	}
+
+	store := cfg.Telemetry.Traces()
+	d := store.Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Retained != 1 || d.ByReason[trace.ReasonError] != 1 {
+		t.Fatalf("store retained %d (byReason %v), want 1 error trace", d.Retained, d.ByReason)
+	}
+	rt := d.Traces[0]
+	if rt.Outcome != string(telemetry.OutcomeBudget) {
+		t.Errorf("retained outcome %q, want %q", rt.Outcome, telemetry.OutcomeBudget)
+	}
+	if rt.Spans <= 0 {
+		t.Errorf("retained trace has %d spans", rt.Spans)
+	}
+
+	// The live entry (not the dump copy) still exports Chrome JSON.
+	var buf bytes.Buffer
+	if err := store.Get(rt.Seq).WriteChrome(&buf); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics side: the retention counter agrees with the store.
+	if got := s.traceKept.Value(trace.ReasonError); got != 1 {
+		t.Errorf("rootd_traces_retained_total{reason=error} = %v, want 1", got)
+	}
+}
+
+// TestTraceForcedByHeader checks the X-Debug-Trace escape hatch: a
+// healthy fast solve that the sampler would drop is retained as
+// "forced" when the header is present.
+func TestTraceForcedByHeader(t *testing.T) {
+	cfg := obsConfig()
+	_, hs := newTestServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/solve", strings.NewReader(quadratic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Debug-Trace", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced solve status %d, body %s", resp.StatusCode, body)
+	}
+
+	d := cfg.Telemetry.Traces().Dump()
+	if d.ByReason[trace.ReasonForced] != 1 {
+		t.Fatalf("byReason %v, want one forced trace", d.ByReason)
+	}
+
+	// Without the header the same healthy solve is seen but dropped
+	// (warmup suppresses slow classification; outcome is ok).
+	status, _, data := postSolve(t, hs.URL, `{"poly":{"coeffs":["-3","0","1"]},"precision":48}`)
+	if status != http.StatusOK {
+		t.Fatalf("plain solve status %d, body %s", status, data)
+	}
+	d = cfg.Telemetry.Traces().Dump()
+	if d.Retained != 1 {
+		t.Errorf("retained %d traces, want still 1 (healthy solve dropped)", d.Retained)
+	}
+	if d.Seen != 2 {
+		t.Errorf("seen %d solves, want 2", d.Seen)
+	}
+}
+
+// TestTenantLedgerAccountingE2E drives requests for two tenants and
+// checks the ledger's request/solve/cache-hit split.
+func TestTenantLedgerAccountingE2E(t *testing.T) {
+	cfg := obsConfig()
+	_, hs := newTestServer(t, cfg)
+
+	solve := func(tenant string) {
+		t.Helper()
+		body := `{"tenant":"` + tenant + `","poly":{"coeffs":["-2","0","1"]},"precision":48}`
+		status, _, data := postSolve(t, hs.URL, body)
+		if status != http.StatusOK {
+			t.Fatalf("tenant %s solve status %d, body %s", tenant, status, data)
+		}
+	}
+
+	solve("acme") // miss: acme leads the solve
+	solve("acme") // hit
+	solve("beta") // hit (tenant is not part of the cache key)
+
+	d := cfg.Telemetry.Tenants().Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]telemetry.TenantRow{}
+	for _, r := range d.Tenants {
+		rows[r.Tenant] = r
+	}
+	acme, beta := rows["acme"], rows["beta"]
+	if acme.Requests != 2 || acme.Solves != 1 || acme.CacheHits != 1 {
+		t.Errorf("acme = %+v, want 2 requests / 1 solve / 1 cache hit", acme)
+	}
+	if acme.BitOps <= 0 || acme.SolveSeconds <= 0 {
+		t.Errorf("acme solve cost not accounted: %+v", acme)
+	}
+	if beta.Requests != 1 || beta.Solves != 0 || beta.CacheHits != 1 {
+		t.Errorf("beta = %+v, want 1 request / 0 solves / 1 cache hit", beta)
+	}
+}
+
+// TestObservabilityMetricsExposed checks the new families appear in
+// /metrics and the whole exposition still validates.
+func TestObservabilityMetricsExposed(t *testing.T) {
+	cfg := obsConfig()
+	_, hs := newTestServer(t, cfg)
+	// One parallel solve so the efficiency gauges have data.
+	status, _, data := postSolve(t, hs.URL, `{"poly":{"coeffs":["-2","0","1"]},"precision":48,"workers":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("solve status %d, body %s", status, data)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if err := telemetry.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, fam := range []string{
+		"rootd_parallel_efficiency",
+		"rootd_serial_fraction",
+		"rootd_span_overhead_seconds",
+		"rootd_learned_cost_ratio",
+		"rootd_learned_efficiency",
+		"rootd_phase_seconds",
+		"rootd_traces_retained_total",
+		"rootd_tenant_requests_total",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+}
+
+// TestDisableTracing checks the kill switch: no spans recorded, nothing
+// retained, solves still succeed.
+func TestDisableTracing(t *testing.T) {
+	cfg := obsConfig()
+	cfg.DisableTracing = true
+	_, hs := newTestServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/solve", strings.NewReader(quadratic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Debug-Trace", "1") // even forced traces are off
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	d := cfg.Telemetry.Traces().Dump()
+	if d.Retained != 0 {
+		t.Errorf("tracing disabled but %d traces retained", d.Retained)
+	}
+}
+
+// TestChargedEstimate pins the learned-correction clamp arithmetic.
+func TestChargedEstimate(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		ratio, eff float64
+		workers    int
+		estimate   int64
+		want       int64
+	}{
+		{1, 1, 1, 1000, 1000},   // neutral
+		{2, 1, 1, 1000, 2000},   // model underestimates 2x
+		{0.1, 1, 1, 1000, 250},  // clamped at corrMin
+		{10, 1, 1, 1000, 4000},  // clamped at corrMax
+		{1, 0.5, 4, 1000, 2000}, // half efficiency doubles parallel charge
+		{1, 0.1, 4, 1000, 4000}, // efficiency floor 0.25 then clamp
+		{1, 0.5, 1, 1000, 1000}, // sequential ignores efficiency
+		{1, 1, 1, 0, 1},         // charge is at least 1
+	}
+	for _, tc := range cases {
+		s.learnedRatio.Store(tc.ratio)
+		s.learnedEff.Store(tc.eff)
+		if got := s.chargedEstimate(tc.estimate, tc.workers); got != tc.want {
+			t.Errorf("chargedEstimate(est=%d, workers=%d, ratio=%v, eff=%v) = %d, want %d",
+				tc.estimate, tc.workers, tc.ratio, tc.eff, got, tc.want)
+		}
+	}
+}
+
+// TestUpdateEWMA pins the estimator update rule and its input guards.
+func TestUpdateEWMA(t *testing.T) {
+	s := New(Config{})
+	var f telemetry.Float64
+	f.Store(1)
+	s.updateEWMA(&f, 2)
+	if got := f.Load(); got < 1.2-1e-12 || got > 1.2+1e-12 {
+		t.Errorf("EWMA(1, 2) = %v, want 1.2 (alpha 0.2)", got)
+	}
+	for _, bad := range []float64{0, -1, errNaN(), errInf()} {
+		before := f.Load()
+		s.updateEWMA(&f, bad)
+		if f.Load() != before {
+			t.Errorf("EWMA accepted bad observation %v", bad)
+		}
+	}
+}
+
+func errNaN() float64 { var z float64; return z / z }
+func errInf() float64 { var z float64; return 1 / z }
+
+// TestOutcomeFor maps solver errors onto telemetry outcomes.
+func TestOutcomeFor(t *testing.T) {
+	if got := outcomeFor(nil); got != telemetry.OutcomeOK {
+		t.Errorf("outcomeFor(nil) = %q", got)
+	}
+	if got := outcomeFor(errors.New("boom")); got != telemetry.OutcomeError {
+		t.Errorf("outcomeFor(generic) = %q", got)
+	}
+}

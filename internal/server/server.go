@@ -24,6 +24,7 @@ import (
 	"realroots/internal/mp"
 	"realroots/internal/sched"
 	"realroots/internal/telemetry"
+	"realroots/internal/trace"
 )
 
 // Config configures a solve server. The zero value is usable: every
@@ -63,6 +64,16 @@ type Config struct {
 	// CacheEntries is the LRU result-cache capacity (default 256;
 	// negative disables caching).
 	CacheEntries int
+	// TraceMaxSpans caps the always-on per-solve tracer at this many
+	// spans per lane (default 4096). The cap bounds each request's
+	// trace memory regardless of solve size; spans beyond it are
+	// counted as dropped, not recorded.
+	TraceMaxSpans int
+	// DisableTracing turns off always-on per-solve tracing entirely:
+	// no spans are recorded, the tail sampler retains nothing, and the
+	// trace-derived gauges (parallel efficiency, serial fraction) stop
+	// updating. Admission still works from the static cost model.
+	DisableTracing bool
 	// Telemetry is the hub serving /metrics, /debug/flight, and the
 	// solve log; nil creates a logger-less hub.
 	Telemetry *telemetry.Telemetry
@@ -100,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.TraceMaxSpans <= 0 {
+		c.TraceMaxSpans = 4096
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.New(telemetry.Config{})
 	}
@@ -135,11 +149,29 @@ type Server struct {
 	reqHist    *telemetry.HistogramVec // rootd_request_seconds{tenant}
 	queueHist  *telemetry.HistogramVec // rootd_queue_wait_seconds{tenant}
 	solveHist  *telemetry.HistogramVec // rootd_solve_seconds{method}
+	phaseHist  *telemetry.HistogramVec // rootd_phase_seconds{phase}
+	traceKept  *telemetry.CounterVec   // rootd_traces_retained_total{reason}
+
+	// spanOverhead accumulates the estimated wall cost of always-on
+	// span recording (span count × calibrated per-span cost), so the
+	// tracing tax is itself observable; spanCost is the per-span cost
+	// in seconds measured once at startup.
+	spanOverhead *telemetry.Float64 // rootd_span_overhead_seconds
+	spanCost     float64
 
 	// Algorithm-health gauges: how the paper's §4 cost model fared on
 	// the most recent completed solve.
 	costRatio telemetry.Float64 // measured/estimated bit ops
 	peakBits  telemetry.Float64 // peak operand bit-length bucket floor
+
+	// Trace-derived efficiency gauges (§5's quantities as live
+	// metrics): the most recent solve's measured parallel efficiency
+	// and serial fraction, plus the EWMAs the admission charge learns
+	// from (see chargedEstimate).
+	parEff       telemetry.Float64 // rootd_parallel_efficiency
+	serialFrac   telemetry.Float64 // rootd_serial_fraction
+	learnedEff   telemetry.Float64 // EWMA of measured parallel efficiency
+	learnedRatio telemetry.Float64 // EWMA of measured/estimated bit ops
 
 	// tenants caps the tenant label's cardinality (see tenantLabel).
 	tenantMu sync.Mutex
@@ -159,6 +191,13 @@ func New(cfg Config) *Server {
 		queue:   newFairQueue(cfg.MaxConcurrent, cfg.MaxQueue),
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now),
 		tenants: map[string]bool{},
+	}
+	// The admission corrections start neutral (×1) and learn from
+	// completed solves; see observeSolve.
+	s.learnedRatio.Store(1)
+	s.learnedEff.Store(1)
+	if !cfg.DisableTracing {
+		s.spanCost = trace.EstimateSpanCost().Seconds()
 	}
 	s.registerMetrics(cfg.Telemetry.Registry())
 	s.cache = newResultCache(cfg.CacheEntries, func(event string) {
@@ -189,6 +228,14 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	s.solveHist = reg.RegisterHistogramVec("rootd_solve_seconds",
 		"Core solve wall time in seconds by interval-refinement method (flight leaders only).",
 		telemetry.SecondsBuckets, "method")
+	s.phaseHist = reg.RegisterHistogramVec("rootd_phase_seconds",
+		"Per-pipeline-phase wall time in seconds, derived from the always-on solve traces (flight leaders only).",
+		telemetry.SecondsBuckets, "phase")
+	s.traceKept = reg.RegisterCounterVec("rootd_traces_retained_total",
+		"Solve traces kept by the tail sampler, by retention reason.", "reason",
+		[]string{trace.ReasonForced, trace.ReasonError, trace.ReasonSlow, trace.ReasonLowEfficiency})
+	s.spanOverhead = reg.RegisterFloatCounter("rootd_span_overhead_seconds",
+		"Estimated wall seconds spent recording trace spans (span count x calibrated per-span cost) — the always-on tracing tax.")
 	reg.RegisterGaugeFunc("rootd_solve_queue_depth",
 		"Requests waiting for a solve slot.",
 		func() float64 { return float64(s.queue.Waiting()) })
@@ -212,6 +259,19 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	reg.RegisterGaugeFunc("rootd_peak_operand_bits",
 		"Peak operand bit-length (bucket lower bound) of the most recent completed solve.",
 		s.peakBits.Load)
+	reg.RegisterGaugeFunc("rootd_parallel_efficiency",
+		"Measured parallel efficiency (speedup/workers, the paper's E_P) of the most recent parallel solve.",
+		s.parEff.Load)
+	reg.RegisterGaugeFunc("rootd_serial_fraction",
+		"Measured Amdahl serial fraction of the most recent traced solve.",
+		s.serialFrac.Load)
+	reg.RegisterGaugeFunc("rootd_learned_cost_ratio",
+		"EWMA of measured/estimated bit-ops over completed solves; the admission charge multiplies estimates by it (clamped).",
+		s.learnedRatio.Load)
+	reg.RegisterGaugeFunc("rootd_learned_efficiency",
+		"EWMA of measured parallel efficiency over completed parallel solves; the admission charge divides by it for parallel requests (clamped).",
+		s.learnedEff.Load)
+	reg.RegisterTenantFamilies(s.cfg.Telemetry.Tenants())
 }
 
 // tenantLabel maps a tenant to its histogram label value, capping the
@@ -328,7 +388,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.RequestID = reqID
+	// X-Debug-Trace (any non-empty value) forces the solve's trace into
+	// the retained ring regardless of outcome or latency; it only takes
+	// effect when this request leads the solve (cache hits re-serve the
+	// cached result without running, so there is nothing to trace).
+	req.ForceTrace = r.Header.Get("X-Debug-Trace") != ""
 	if ok, retry := s.limiter.Allow(req.Tenant); !ok {
+		// Rate-limited requests never reach Solve, so their ledger
+		// accounting happens here.
+		led := s.cfg.Telemetry.Tenants()
+		led.AddRequest(req.Tenant)
+		led.AddRejection(req.Tenant)
 		s.failRetry(w, start, req.Tenant, reqID, &RequestError{
 			Code: CodeRateLimited,
 			Msg:  fmt.Sprintf("tenant %q is over its request rate", req.Tenant),
@@ -400,6 +470,9 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		EstimatedBitOps: estimate,
 	})
 
+	led := s.cfg.Telemetry.Tenants()
+	led.AddRequest(req.Tenant)
+
 	key := req.cacheKey(mu, profile, method.String())
 	resp, outcome, err := s.cache.Do(ctx, key, func() (*SolveResponse, error) {
 		return s.runSolve(ctx, req, solveParams{
@@ -407,12 +480,23 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 			workers: workers, timeout: timeout, maxBits: maxBits,
 			estimate: estimate, tenant: req.Tenant,
 			requestID: req.RequestID, tracker: tr,
+			forceTrace: req.ForceTrace,
 		})
 	})
 	tr.SetCacheOutcome(outcome)
 	if err != nil {
-		tr.Finish(AsRequestError(err).Code)
+		code := AsRequestError(err).Code
+		switch code {
+		case CodeOverloaded, CodeQueueFull, CodeDraining:
+			led.AddRejection(req.Tenant)
+		default:
+			led.AddError(req.Tenant)
+		}
+		tr.Finish(code)
 		return nil, err
+	}
+	if outcome != "miss" {
+		led.AddCacheHit(req.Tenant)
 	}
 	if resp.Metrics != nil {
 		// For cache hits and joins these are the original solve's
@@ -432,16 +516,17 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 }
 
 type solveParams struct {
-	mu        uint
-	profile   mp.Profile
-	method    methodT
-	workers   int
-	timeout   time.Duration
-	maxBits   int64
-	estimate  int64
-	tenant    string
-	requestID string
-	tracker   *telemetry.ActiveRequest
+	mu         uint
+	profile    mp.Profile
+	method     methodT
+	workers    int
+	timeout    time.Duration
+	maxBits    int64
+	estimate   int64
+	tenant     string
+	requestID  string
+	tracker    *telemetry.ActiveRequest
+	forceTrace bool
 }
 
 // runSolve is the flight leader's path: reserve the admission budget,
@@ -450,14 +535,19 @@ type solveParams struct {
 // runs to completion (the result is cached, so the work is kept even
 // if the first requester is gone), except under drain cancellation.
 func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solveParams) (*SolveResponse, error) {
-	if !s.reserve(p.estimate) {
+	// The charge is the model estimate corrected by what the server has
+	// measured on past solves (learned cost ratio and, for parallel
+	// requests, learned efficiency) — admission learns from observed
+	// speedup instead of trusting the static §4 model forever.
+	charge := s.chargedEstimate(p.estimate, p.workers)
+	if !s.reserve(charge) {
 		return nil, &RequestError{
 			Code: CodeOverloaded,
-			Msg: fmt.Sprintf("estimated cost %d bit ops would oversubscribe the in-flight budget %d",
-				p.estimate, s.cfg.MaxInflightBitOps),
+			Msg: fmt.Sprintf("charged cost %d bit ops (estimate %d) would oversubscribe the in-flight budget %d",
+				charge, p.estimate, s.cfg.MaxInflightBitOps),
 		}
 	}
-	defer s.reserved.Add(-p.estimate)
+	defer s.reserved.Add(-charge)
 
 	// Queue waiting is bounded by the requester's context (a gone
 	// client should not hold a queue position) and by the server
@@ -483,6 +573,13 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 	solveCtx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
 	defer cancel()
 
+	// Always-on tracing: every solve records spans into a bounded
+	// tracer; observeSolve decides afterwards whether to keep them.
+	var tracer *trace.Tracer
+	if !s.cfg.DisableTracing {
+		tracer = trace.NewLimited(s.cfg.TraceMaxSpans)
+	}
+
 	opts := core.Options{
 		Mu:        p.mu,
 		Workers:   p.workers,
@@ -493,6 +590,7 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 		Telemetry: s.cfg.Telemetry,
 		RequestID: p.requestID,
 		OnPhase:   p.tracker.SetPhase,
+		Tracer:    tracer,
 	}
 	var counters metrics.Counters
 	opts.Counters = &counters
@@ -509,6 +607,7 @@ func (s *Server) runSolve(reqCtx context.Context, req *SolveRequest, p solvePara
 	roots, err := core.FindRootsWithMultiplicity(poly, opts)
 	elapsed := time.Since(start)
 	s.solveHist.With(p.method.String()).Observe(elapsed.Seconds(), p.requestID)
+	s.observeSolve(tracer, p, start, elapsed, counters.BitOps(), err)
 	if err != nil {
 		return nil, mapSolveError(err)
 	}

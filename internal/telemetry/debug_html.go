@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"realroots/internal/trace"
+)
+
+// tracesTmpl renders the /debug/traces index: retention stats, then
+// one row per retained trace newest-first, each linking its Chrome
+// export download. Styled after /debug/requests so the two inspectors
+// read as one surface.
+var tracesTmpl = template.Must(template.New("traces").Funcs(template.FuncMap{
+	"secs": func(v float64) string {
+		switch {
+		case v == 0:
+			return "-"
+		case v < 0.001:
+			return fmt.Sprintf("%.0fµs", v*1e6)
+		case v < 1:
+			return fmt.Sprintf("%.1fms", v*1e3)
+		default:
+			return fmt.Sprintf("%.3fs", v)
+		}
+	},
+	"pct": func(v float64) string { return fmt.Sprintf("%.0f%%", v*100) },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>/debug/traces</title><style>
+body { font-family: sans-serif; font-size: 13px; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+td.s { text-align: left; font-family: monospace; }
+.err { color: #b00; }
+</style></head><body>
+<h1>rootd tail-sampled traces</h1>
+<p>{{len .Traces}} retained in a ring of {{.Capacity}} ({{.Retained}} kept of {{.Seen}} solves seen, {{.Evicted}} evicted).
+Retention reasons: {{range $k, $v := .ByReason}}{{$k}}={{$v}} {{end}}
+<a href="?format=json">JSON</a></p>
+{{if .Traces}}<table>
+<tr><th>seq</th><th>request</th><th>tenant</th><th>outcome</th><th>reason</th><th>start</th><th>wall</th><th>workers</th><th>efficiency</th><th>serial</th><th>spans</th><th>dropped</th><th>export</th></tr>
+{{range .Traces}}<tr>
+<td>{{.Seq}}</td><td class=s>{{.RequestID}}</td><td class=s>{{.Tenant}}</td>
+<td class=s>{{if eq .Outcome "ok"}}ok{{else}}<span class=err>{{.Outcome}}</span>{{end}}</td>
+<td class=s>{{.Reason}}</td>
+<td class=s>{{.Start.Format "15:04:05.000"}}</td>
+<td>{{secs .WallSeconds}}</td><td>{{.Workers}}</td>
+<td>{{if .Workers}}{{pct .Efficiency}}{{else}}-{{end}}</td><td>{{pct .SerialFraction}}</td>
+<td>{{.Spans}}</td><td>{{.DroppedSpans}}</td>
+<td class=s><a href="/debug/traces/{{.Seq}}">chrome json</a></td>
+</tr>{{end}}</table>{{else}}<p>none retained yet</p>{{end}}
+</body></html>
+`))
+
+func writeTracesHTML(w io.Writer, d trace.StoreDump) {
+	_ = tracesTmpl.Execute(w, d)
+}
+
+// tenantsTmpl renders the /debug/tenants ledger: one row per tenant,
+// sorted by ID, with the integral usage counters the "why is this
+// tenant slow?" runbook starts from.
+var tenantsTmpl = template.Must(template.New("tenants").Funcs(template.FuncMap{
+	"secs": func(v float64) string { return fmt.Sprintf("%.3f", v) },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>/debug/tenants</title><style>
+body { font-family: sans-serif; font-size: 13px; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+td.s { text-align: left; font-family: monospace; }
+</style></head><body>
+<h1>rootd tenant usage</h1>
+<p>{{len .Tenants}} tenants (ledger cap {{.MaxTenants}}; overflow folds into &quot;other&quot;, anonymous requests into &quot;anonymous&quot;).
+<a href="?format=json">JSON</a></p>
+{{if .Tenants}}<table>
+<tr><th>tenant</th><th>requests</th><th>solves</th><th>solve s</th><th>bit-ops</th><th>cache hits</th><th>rejections</th><th>errors</th><th>retained traces</th></tr>
+{{range .Tenants}}<tr>
+<td class=s>{{.Tenant}}</td><td>{{.Requests}}</td><td>{{.Solves}}</td>
+<td>{{secs .SolveSeconds}}</td><td>{{.BitOps}}</td><td>{{.CacheHits}}</td>
+<td>{{.Rejections}}</td><td>{{.Errors}}</td><td>{{.RetainedTraces}}</td>
+</tr>{{end}}</table>{{else}}<p>none yet</p>{{end}}
+</body></html>
+`))
+
+func writeTenantsHTML(w io.Writer, d TenantsDump) {
+	_ = tenantsTmpl.Execute(w, d)
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -44,6 +46,62 @@ func (t *Telemetry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		writeRequestsHTML(w, dump)
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		store := t.Traces()
+		if store == nil {
+			http.Error(w, "trace store disabled", http.StatusNotFound)
+			return
+		}
+		dump := store.Dump()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(dump); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeTracesHTML(w, dump)
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		store := t.Traces()
+		if store == nil {
+			http.Error(w, "trace store disabled", http.StatusNotFound)
+			return
+		}
+		seq, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/debug/traces/"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace sequence number", http.StatusBadRequest)
+			return
+		}
+		rt := store.Get(seq)
+		if rt == nil {
+			http.Error(w, "trace not retained (or evicted)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("trace-%d.json", seq)))
+		if err := rt.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/tenants", func(w http.ResponseWriter, r *http.Request) {
+		dump := t.Tenants().Dump()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(dump); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeTenantsHTML(w, dump)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -59,6 +117,8 @@ func (t *Telemetry) Handler() http.Handler {
 		fmt.Fprintln(w, "  /metrics          Prometheus exposition")
 		fmt.Fprintln(w, "  /debug/flight     flight recorder dump (JSON)")
 		fmt.Fprintln(w, "  /debug/requests   live request inspector (?format=json)")
+		fmt.Fprintln(w, "  /debug/traces     tail-sampled trace store (?format=json; /<seq> downloads Chrome JSON)")
+		fmt.Fprintln(w, "  /debug/tenants    per-tenant usage ledger (?format=json)")
 		fmt.Fprintln(w, "  /debug/pprof/     runtime profiles")
 	})
 	return mux

@@ -76,6 +76,15 @@ type Config struct {
 	// FlightCapacity is the flight-recorder ring size in records
 	// (0 = DefaultFlightCapacity).
 	FlightCapacity int
+	// TraceStoreCapacity is the tail-sampled trace ring size
+	// (0 = trace.DefaultStoreCapacity; < 0 disables the store and
+	// sampler — Traces()/TailSampler() return nil).
+	TraceStoreCapacity int
+	// Tail tunes the tail sampler's retention policy.
+	Tail TailConfig
+	// MaxTenants bounds the per-tenant usage ledger
+	// (0 = DefaultMaxTenants).
+	MaxTenants int
 }
 
 // Telemetry is the hub tying the three sinks together. One hub serves
@@ -85,6 +94,9 @@ type Telemetry struct {
 	flight   *Flight
 	reg      *Registry
 	requests *RequestTracker
+	traces   *trace.Store
+	tail     *TailSampler
+	tenants  *TenantLedger
 	runSeq   atomic.Uint64
 }
 
@@ -98,6 +110,11 @@ func New(cfg Config) *Telemetry {
 		logger:   cfg.Logger,
 		flight:   NewFlight(capacity),
 		requests: NewRequestTracker(DefaultRequestRingCapacity),
+		tenants:  NewTenantLedger(cfg.MaxTenants),
+	}
+	if cfg.TraceStoreCapacity >= 0 {
+		t.traces = trace.NewStore(cfg.TraceStoreCapacity)
+		t.tail = NewTailSampler(cfg.Tail)
 	}
 	t.reg = newRegistry(t.flight)
 	return t
@@ -110,6 +127,34 @@ func (t *Telemetry) Requests() *RequestTracker {
 		return nil
 	}
 	return t.requests
+}
+
+// Traces returns the hub's tail-sampled trace store, backing the
+// /debug/traces inspector (nil for a nil hub or a disabled store; a
+// nil *trace.Store no-ops everywhere).
+func (t *Telemetry) Traces() *trace.Store {
+	if t == nil {
+		return nil
+	}
+	return t.traces
+}
+
+// TailSampler returns the hub's tail sampler (nil for a nil hub or a
+// disabled store; a nil sampler retains nothing).
+func (t *Telemetry) TailSampler() *TailSampler {
+	if t == nil {
+		return nil
+	}
+	return t.tail
+}
+
+// Tenants returns the hub's per-tenant usage ledger, backing the
+// /debug/tenants inspector (nil for a nil hub; a nil ledger no-ops).
+func (t *Telemetry) Tenants() *TenantLedger {
+	if t == nil {
+		return nil
+	}
+	return t.tenants
 }
 
 // Flight returns the hub's flight recorder (nil for a nil hub).

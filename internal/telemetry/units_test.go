@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFlightUnitsContract pins the flight recorder's clock: Record.AtNs
+// is nanoseconds since the recorder was created (JSON field "atNs"),
+// not microseconds or milliseconds. Counterpart of the trace package's
+// TestUnitsContract.
+func TestFlightUnitsContract(t *testing.T) {
+	f := NewFlight(8)
+	time.Sleep(2 * time.Millisecond)
+	f.Event(1, 0, "tick", 0)
+	recs := f.Dump().Records
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	at := recs[0].AtNs
+	// 2ms elapsed: in nanoseconds that is >= 2e6; if AtNs were µs it
+	// would be ~2e3, if ms ~2. Allow an hour of slack upward.
+	if at < 2_000_000 {
+		t.Errorf("AtNs = %d after a 2ms sleep; too small to be nanoseconds", at)
+	}
+	if at > int64(time.Hour) {
+		t.Errorf("AtNs = %d, implausibly large for this test", at)
+	}
+}
+
+// TestRequestUnitsContract pins /debug/requests timings: the
+// queueWaitSeconds/solveSeconds/totalSeconds fields are float seconds.
+func TestRequestUnitsContract(t *testing.T) {
+	tr := NewRequestTracker(8)
+	r := tr.Start(RequestInfo{ID: "u1", Tenant: "acme", Kind: "solve"})
+	r.SetQueueWait(1500 * time.Millisecond)
+	r.SetSolve(250*time.Millisecond, 1000, 64)
+	r.Finish("ok")
+	d := tr.Dump()
+	if len(d.Recent) != 1 {
+		t.Fatalf("recent = %d, want 1", len(d.Recent))
+	}
+	snap := d.Recent[0]
+	if snap.QueueWaitSecs != 1.5 {
+		t.Errorf("queueWaitSeconds = %v, want 1.5 (1500ms expressed in seconds)", snap.QueueWaitSecs)
+	}
+	if snap.SolveSecs != 0.25 {
+		t.Errorf("solveSeconds = %v, want 0.25", snap.SolveSecs)
+	}
+	if snap.TotalSecs < 0 || snap.TotalSecs > 60 {
+		t.Errorf("totalSeconds = %v, out of plausible range for wall-clock seconds", snap.TotalSecs)
+	}
+}

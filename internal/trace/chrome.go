@@ -42,7 +42,10 @@ func chromeTid(laneID int) int {
 	return laneID + 1
 }
 
-const micros = 1e3 // nanoseconds per microsecond
+// nsPerMicro converts span fields (time.Duration, nanoseconds) to the
+// Chrome trace-event clock (microsecond floats): divide ns by 1e3.
+// The repo-wide units contract is pinned by TestUnitsContract.
+const nsPerMicro = 1e3
 
 // WriteChrome writes the recorded trace as Chrome trace-event JSON,
 // loadable in chrome://tracing or https://ui.perfetto.dev. Call it
@@ -73,15 +76,15 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				Name: s.Name,
 				Cat:  s.Cat,
 				Ph:   "X",
-				Ts:   float64(s.Start.Nanoseconds()) / micros,
-				Dur:  float64(s.Dur.Nanoseconds()) / micros,
+				Ts:   float64(s.Start.Nanoseconds()) / nsPerMicro,
+				Dur:  float64(s.Dur.Nanoseconds()) / nsPerMicro,
 				Pid:  1,
 				Tid:  tid,
 			}
 			if s.Wait > 0 || reqID != "" {
 				ev.Args = map[string]any{}
 				if s.Wait > 0 {
-					ev.Args["wait_us"] = float64(s.Wait.Nanoseconds()) / micros
+					ev.Args["wait_us"] = float64(s.Wait.Nanoseconds()) / nsPerMicro
 				}
 				if reqID != "" {
 					ev.Args["requestId"] = reqID
@@ -94,7 +97,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		events = append(events, chromeEvent{
 			Name: c.Name,
 			Ph:   "C",
-			Ts:   float64(c.At.Nanoseconds()) / micros,
+			Ts:   float64(c.At.Nanoseconds()) / nsPerMicro,
 			Pid:  1,
 			Tid:  0,
 			Args: map[string]any{"value": c.Value},

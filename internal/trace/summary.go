@@ -37,6 +37,17 @@ type Summary struct {
 	SerialFraction float64
 }
 
+// Efficiency reports achieved parallel efficiency: Parallelism divided
+// by the worker count, in [0,1] for a well-formed trace. It is the
+// paper's E_P = S_P/P with the measured speedup standing in for S_P.
+// workers <= 0 reports 0 (unknown pool size, e.g. a sequential run).
+func (s Summary) Efficiency(workers int) float64 {
+	if workers <= 0 {
+		return 0
+	}
+	return s.Parallelism / float64(workers)
+}
+
 // NamedTime is one named wall-time bucket.
 type NamedTime struct {
 	Name string

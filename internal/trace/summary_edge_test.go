@@ -1,0 +1,106 @@
+package trace
+
+import "testing"
+
+// Summarize edge cases: the shapes the always-on serving path actually
+// produces — empty traces (degree-1 short-circuits), single spans, and
+// zero-duration spans (sub-resolution tasks) — must yield finite,
+// in-range numbers, never NaN or division blowups.
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	for name, tr := range map[string]*Tracer{
+		"nil":          nil,
+		"fresh":        New(),
+		"lanesNoSpans": func() *Tracer { tr := New(); tr.Lane(ControlLane, "control"); return tr }(),
+	} {
+		s := tr.Summarize()
+		if s.Wall != 0 || s.Busy != 0 || s.Parallelism != 0 || s.SerialFraction != 0 {
+			t.Errorf("%s: non-zero summary %+v from empty trace", name, s)
+		}
+		if len(s.Phases) != 0 || len(s.Tasks) != 0 {
+			t.Errorf("%s: phantom phases/tasks %+v", name, s)
+		}
+		if s.Efficiency(4) != 0 {
+			t.Errorf("%s: Efficiency = %v, want 0", name, s.Efficiency(4))
+		}
+	}
+}
+
+func TestSummarizeSingleSpan(t *testing.T) {
+	tr := New()
+	l := tr.Lane(0, "worker-0")
+	l.spans = []Span{{Name: "interval", Cat: CatTask, Start: 5 * ms, Dur: 10 * ms, Parent: -1}}
+	s := tr.Summarize()
+	if s.Wall != 10*ms {
+		t.Errorf("Wall = %v, want 10ms (span extent, not epoch offset)", s.Wall)
+	}
+	if s.Busy != 10*ms {
+		t.Errorf("Busy = %v, want 10ms", s.Busy)
+	}
+	if s.Parallelism != 1 {
+		t.Errorf("Parallelism = %v, want 1", s.Parallelism)
+	}
+	if s.SerialFraction != 1 {
+		t.Errorf("SerialFraction = %v, want 1 (one lane is fully serial)", s.SerialFraction)
+	}
+	if got := s.Efficiency(1); got != 1 {
+		t.Errorf("Efficiency(1) = %v, want 1", got)
+	}
+	if got := s.Efficiency(2); got != 0.5 {
+		t.Errorf("Efficiency(2) = %v, want 0.5", got)
+	}
+}
+
+func TestSummarizeZeroDurationSpans(t *testing.T) {
+	tr := New()
+	l := tr.Lane(0, "worker-0")
+	l.spans = []Span{
+		{Name: "fast", Cat: CatTask, Start: 0, Dur: 0, Parent: -1},
+		{Name: "fast", Cat: CatTask, Start: 0, Dur: 0, Parent: -1},
+	}
+	s := tr.Summarize()
+	if s.Wall != 0 {
+		t.Errorf("Wall = %v, want 0", s.Wall)
+	}
+	// Wall == 0 must short-circuit the ratios, not divide by zero.
+	if s.Parallelism != 0 || s.SerialFraction != 0 {
+		t.Errorf("zero-wall ratios = %v/%v, want 0/0", s.Parallelism, s.SerialFraction)
+	}
+	if len(s.Tasks) != 1 || s.Tasks[0].Count != 2 {
+		t.Errorf("tasks = %+v, want one kind counted twice", s.Tasks)
+	}
+	if eff := s.Efficiency(8); eff != 0 {
+		t.Errorf("Efficiency = %v, want 0", eff)
+	}
+}
+
+func TestSummarizeOpenSpanIgnored(t *testing.T) {
+	// An open span (Dur == -1, e.g. a panic unwound past End) is
+	// skipped rather than counted with negative duration.
+	tr := New()
+	l := tr.Lane(0, "worker-0")
+	l.spans = []Span{
+		{Name: "done", Cat: CatTask, Start: 0, Dur: 10 * ms, Parent: -1},
+		{Name: "open", Cat: CatTask, Start: 5 * ms, Dur: -1, Parent: -1},
+	}
+	s := tr.Summarize()
+	if s.Wall != 10*ms || s.Busy != 10*ms {
+		t.Errorf("Wall/Busy = %v/%v, want 10ms/10ms", s.Wall, s.Busy)
+	}
+	if len(s.Tasks) != 1 || s.Tasks[0].Name != "done" {
+		t.Errorf("tasks = %+v, want only the closed span", s.Tasks)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	var s Summary
+	s.Parallelism = 3.2
+	if got := s.Efficiency(4); got != 0.8 {
+		t.Errorf("Efficiency(4) = %v, want 0.8", got)
+	}
+	for _, workers := range []int{0, -1} {
+		if got := s.Efficiency(workers); got != 0 {
+			t.Errorf("Efficiency(%d) = %v, want 0", workers, got)
+		}
+	}
+}

@@ -85,25 +85,46 @@ type Lane struct {
 	// Name labels the lane in exports ("worker-3", "control").
 	Name string
 
-	tr    *Tracer
-	spans []Span
-	open  []int // stack of indices into spans with Dur not yet set
+	tr      *Tracer
+	spans   []Span
+	open    []int // stack of indices into spans with Dur not yet set
+	dropped int   // spans not recorded because the lane hit its cap
 }
 
 // A Tracer collects spans and counter samples for one run. Create one
-// with New; a nil *Tracer is valid everywhere and records nothing.
+// with New (unbounded, for offline analysis) or NewLimited (bounded,
+// for always-on serving-path capture); a nil *Tracer is valid
+// everywhere and records nothing.
 type Tracer struct {
 	epoch time.Time
+	// maxSpans caps each lane's span buffer (and the counter-sample
+	// buffer); 0 means unbounded. Set once at construction, read-only
+	// afterwards, so lane owners read it without synchronization.
+	maxSpans int
 
-	mu        sync.Mutex
-	lanes     map[int]*Lane
-	counters  []Counter
-	requestID string
+	mu              sync.Mutex
+	lanes           map[int]*Lane
+	counters        []Counter
+	droppedCounters int
+	requestID       string
 }
 
 // New returns an empty Tracer whose epoch is the current time.
 func New() *Tracer {
 	return &Tracer{epoch: time.Now(), lanes: make(map[int]*Lane)}
+}
+
+// NewLimited returns a Tracer that records at most maxSpans spans per
+// lane and at most maxSpans counter samples; further records are
+// counted as dropped instead of growing the buffers. This is the
+// always-on serving-path variant: a request's trace memory is bounded
+// by maxSpans × (workers+1) lanes regardless of solve size.
+// maxSpans <= 0 means unbounded (identical to New).
+func NewLimited(maxSpans int) *Tracer {
+	if maxSpans < 0 {
+		maxSpans = 0
+	}
+	return &Tracer{epoch: time.Now(), maxSpans: maxSpans, lanes: make(map[int]*Lane)}
 }
 
 // SetRequestID tags the tracer with the request that owns the traced
@@ -155,14 +176,19 @@ func (t *Tracer) Lane(id int, name string) *Lane {
 	return l
 }
 
-// CounterSample records one sample of the named time series.
+// CounterSample records one sample of the named time series. On a
+// limited tracer, samples beyond the cap are dropped (and counted).
 func (t *Tracer) CounterSample(name string, v int64) {
 	if t == nil {
 		return
 	}
 	at := time.Since(t.epoch)
 	t.mu.Lock()
-	t.counters = append(t.counters, Counter{Name: name, At: at, Value: v})
+	if t.maxSpans > 0 && len(t.counters) >= t.maxSpans {
+		t.droppedCounters++
+	} else {
+		t.counters = append(t.counters, Counter{Name: name, At: at, Value: v})
+	}
 	t.mu.Unlock()
 }
 
@@ -173,10 +199,21 @@ func (l *Lane) Begin(name, cat string) {
 	l.BeginAt(name, cat, 0)
 }
 
+// droppedSentinel marks an open-stack entry whose Begin was dropped by
+// the lane's span cap, so the matching End pops it without touching the
+// span buffer. Once a lane reaches its cap it never shrinks, so a real
+// span can never end up nested under a sentinel.
+const droppedSentinel = -1
+
 // BeginAt is Begin with a recorded queue wait (submission→start
 // latency), used by the scheduler.
 func (l *Lane) BeginAt(name, cat string, wait time.Duration) {
 	if l == nil {
+		return
+	}
+	if max := l.tr.maxSpans; max > 0 && len(l.spans) >= max {
+		l.dropped++
+		l.open = append(l.open, droppedSentinel)
 		return
 	}
 	parent := -1
@@ -206,6 +243,9 @@ func (l *Lane) End() {
 	}
 	i := l.open[n-1]
 	l.open = l.open[:n-1]
+	if i == droppedSentinel {
+		return // the matching Begin was dropped by the span cap
+	}
 	l.spans[i].Dur = time.Since(l.tr.epoch) - l.spans[i].Start
 }
 
@@ -234,6 +274,55 @@ func (t *Tracer) Lanes() []*Lane {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// SpanCount returns the total number of spans recorded across all
+// lanes. Valid only after the traced run has completed (same caveat as
+// Lanes); a nil tracer reports 0.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, l := range t.lanes {
+		n += len(l.spans)
+	}
+	return n
+}
+
+// DroppedSpans returns the number of spans and counter samples the
+// span cap discarded (0 for unbounded tracers). Valid only after the
+// traced run has completed.
+func (t *Tracer) DroppedSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.droppedCounters
+	for _, l := range t.lanes {
+		n += l.dropped
+	}
+	return n
+}
+
+// EstimateSpanCost measures the wall-clock cost of recording one span
+// (a Begin/End pair) on this host, by timing a short burst on a
+// throwaway tracer. Servers running always-on tracing use it to
+// convert span counts into an estimated overhead-seconds metric
+// without instrumenting the hot path twice.
+func EstimateSpanCost() time.Duration {
+	const n = 2048
+	tr := New()
+	l := tr.Lane(ControlLane, "calibrate")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		l.Begin("calibrate", CatTask)
+		l.End()
+	}
+	return time.Since(start) / n
 }
 
 // Counters returns a copy of the recorded counter samples in recording
